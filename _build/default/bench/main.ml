@@ -1,0 +1,94 @@
+(* The full benchmark harness: Bechamel micro-benchmarks of the lock
+   operations (real wall-clock, uncontended, over real atomics and over
+   one simulator step), followed by the reproduction of every table and
+   figure of the paper (see DESIGN.md section 4 for the index). *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- micro benchmarks (one Test.make per subject) ---------- *)
+
+module RM = Clof_atomics.Real_mem
+module RR = Clof_locks.Registry.Make (RM)
+module RG = Clof_core.Generator.Make (RM)
+module RT = Clof_core.Runtime
+open Clof_topology
+
+let basic_test (type a) (packed : a Clof_locks.Lock_intf.packed) =
+  let (module B) = packed in
+  let lock = B.create () in
+  let ctx = B.ctx_create lock in
+  Test.make
+    ~name:("real/" ^ B.name ^ " uncontended")
+    (Staged.stage (fun () ->
+         B.acquire lock ctx;
+         B.release lock ctx))
+
+let clof_test name =
+  let spec =
+    RT.of_clof
+      ~hierarchy:(Platform.hier4 Platform.x86)
+      (Option.get (RG.of_name ~basics:(RR.basics ~ctr:true) name))
+  in
+  let lock = spec.RT.instantiate Platform.x86.Platform.topo in
+  let h = lock.RT.handle ~cpu:0 in
+  Test.make
+    ~name:("real/clof<4> " ^ name ^ " uncontended")
+    (Staged.stage (fun () ->
+         h.RT.acquire ();
+         h.RT.release ()))
+
+let sim_test =
+  Test.make ~name:"sim/pingpong 10us simulated"
+    (Staged.stage (fun () ->
+         ignore
+           (Clof_workloads.Pingpong.throughput ~duration:10_000
+              ~platform:Platform.x86 0 24)))
+
+let checker_test =
+  Test.make ~name:"verify/one tkt execution"
+    (Staged.stage (fun () ->
+         let config =
+           { Clof_verify.Checker.default with max_executions = 1 }
+         in
+         ignore
+           (Clof_verify.Checker.check ~config ~name:"micro" (fun () ->
+                let module T = Clof_locks.Ticket.Make (Clof_verify.Vmem) in
+                let l = T.create () in
+                [ (fun () -> T.acquire l (); T.release l ()) ]))))
+
+let micro_tests () =
+  List.map basic_test [ RR.ticket; RR.mcs; RR.clh; RR.hemlock ~ctr:false () ]
+  @ [ clof_test "tkt-tkt-mcs-mcs"; sim_test; checker_test ]
+
+let run_micro () =
+  print_string (Clof_harness.Render.section "Micro-benchmarks (Bechamel, real wall clock)");
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name res ->
+          match Analyze.OLS.estimates res with
+          | Some [ est ] -> Printf.printf "%-42s %10.1f ns/op\n" name est
+          | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
+        analyzed)
+    (micro_tests ())
+
+(* ---------- full reproduction ---------- *)
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  (try run_micro ()
+   with e ->
+     Printf.printf "micro-benchmarks skipped: %s\n" (Printexc.to_string e));
+  Clof_harness.Experiments.set_quick quick;
+  Clof_harness.Experiments.run_all Format.std_formatter;
+  Format.pp_print_flush Format.std_formatter ()

@@ -1,0 +1,65 @@
+(* Command-line driver: reproduce any table/figure of the paper, or the
+   whole evaluation. `clof_bench list` shows the experiment index. *)
+
+let list_experiments () =
+  List.iter
+    (fun (id, descr) -> Printf.printf "%-16s %s\n" id descr)
+    Clof_harness.Experiments.ids
+
+let run_ids quick ids =
+  Clof_harness.Experiments.set_quick quick;
+  let ppf = Format.std_formatter in
+  match ids with
+  | [] ->
+      Clof_harness.Experiments.run_all ppf;
+      `Ok ()
+  | ids ->
+      let unknown =
+        List.filter
+          (fun id -> not (Clof_harness.Experiments.run ppf id))
+          ids
+      in
+      if unknown = [] then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment(s): %s (try 'list')"
+              (String.concat ", " unknown) )
+
+open Cmdliner
+
+let quick =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Shorter simulations and coarser sampling (smoke mode).")
+
+let ids_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          "Experiment ids to run (see $(b,clof_bench list)); all of them \
+           when omitted.")
+
+let run_cmd =
+  let doc = "Reproduce the paper's tables and figures on the simulator" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(ret (const run_ids $ quick $ ids_arg))
+
+let list_cmd =
+  let doc = "List the available experiments" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
+
+let main =
+  let doc =
+    "CLoF reproduction: compositional NUMA-aware locks on a simulated \
+     multi-level NUMA machine"
+  in
+  Cmd.group
+    ~default:Term.(ret (const run_ids $ quick $ ids_arg))
+    (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
+    [ run_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/custom_lock.ml: Array Clof_atomics Clof_core Clof_locks Clof_sim Clof_topology Clof_verify Clof_workloads Format List Platform Printf String

@@ -1,0 +1,1 @@
+examples/custom_lock.mli:

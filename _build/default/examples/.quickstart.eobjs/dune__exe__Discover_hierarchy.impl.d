@@ -1,0 +1,1 @@
+examples/discover_hierarchy.ml: Clof_core Clof_harness Clof_topology Level List Platform Printf Topology

@@ -1,0 +1,1 @@
+examples/discover_hierarchy.mli:

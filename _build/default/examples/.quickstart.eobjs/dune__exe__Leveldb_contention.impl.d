@@ -1,0 +1,1 @@
+examples/leveldb_contention.ml: Array Clof_baselines Clof_core Clof_harness Clof_locks Clof_sim Clof_topology Clof_workloads List Option Platform Printf Sys Topology

@@ -1,0 +1,1 @@
+examples/leveldb_contention.mli:

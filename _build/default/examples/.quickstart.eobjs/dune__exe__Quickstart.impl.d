@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Clof_core Clof_locks Clof_sim Clof_topology Platform Printf Topology

@@ -1,0 +1,1 @@
+examples/verify_composition.ml: Clof_verify Format List Option

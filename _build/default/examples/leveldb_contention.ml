@@ -1,0 +1,55 @@
+(* The paper's headline comparison on one platform: LevelDB-style
+   readrandom under increasing contention, CLoF vs HMCS, CNA, ShflLock
+   and plain MCS (Figures 2 and 4 in one table).
+
+       dune exec examples/leveldb_contention.exe [x86|armv8] *)
+
+open Clof_topology
+module M = Clof_sim.Sim_mem
+module R = Clof_locks.Registry.Make (M)
+module G = Clof_core.Generator.Make (M)
+module Hmcs = Clof_baselines.Hmcs.Make (M)
+module Cna = Clof_baselines.Cna.Make (M)
+module Shfl = Clof_baselines.Shfllock.Make (M)
+module RT = Clof_core.Runtime
+module W = Clof_workloads.Workload
+
+let () =
+  let platform =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "armv8" then
+      Platform.armv8
+    else Platform.x86
+  in
+  let ctr = platform.Platform.arch = Platform.X86 in
+  let hierarchy = Platform.hier4 platform in
+  let clof name =
+    RT.rename
+      (Printf.sprintf "clof<4> %s" name)
+      (RT.of_clof ~hierarchy
+         (Option.get (G.of_name ~basics:(R.basics ~ctr) name)))
+  in
+  let specs =
+    [
+      RT.of_basic R.mcs;
+      RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy ());
+      Cna.spec ();
+      Shfl.spec ();
+      (* the LC-best compositions the scripted benchmark finds on each
+         platform in this reproduction *)
+      (if ctr then clof "tkt-clh-clh-clh" else clof "tkt-clh-clh-tkt");
+    ]
+  in
+  let threadcounts = Clof_harness.Scripted.thread_grid platform in
+  Printf.printf "%-24s" (Topology.name platform.Platform.topo);
+  List.iter (fun n -> Printf.printf "%8d" n) threadcounts;
+  print_newline ();
+  List.iter
+    (fun spec ->
+      Printf.printf "%-24s%!" spec.RT.s_name;
+      List.iter
+        (fun nthreads ->
+          let r = W.run ~platform ~nthreads ~spec W.leveldb in
+          Printf.printf "%8.3f%!" r.W.throughput)
+        threadcounts;
+      print_newline ())
+    specs

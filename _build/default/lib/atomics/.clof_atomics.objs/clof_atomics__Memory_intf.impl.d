@@ -1,0 +1,1 @@
+lib/atomics/memory_intf.ml: Memory_order

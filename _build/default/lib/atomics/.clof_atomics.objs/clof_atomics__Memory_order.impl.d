@@ -1,0 +1,1 @@
+lib/atomics/memory_order.ml: Format

@@ -1,0 +1,1 @@
+lib/atomics/real_mem.ml: Atomic Domain

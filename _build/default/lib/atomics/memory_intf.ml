@@ -1,0 +1,72 @@
+(** The abstract shared-memory interface all lock algorithms are written
+    against.
+
+    One algorithm source serves three substrates (see DESIGN.md):
+    the NUMA machine simulator, real OCaml domains, and the systematic
+    model checker. This is the repo's analogue of the paper's context
+    abstraction boundary: basic locks are black boxes that only touch
+    shared memory through this signature. *)
+
+module type S = sig
+  type 'a aref
+  (** A shared atomic location occupying its own cache line. *)
+
+  val make : ?node:int -> ?name:string -> 'a -> 'a aref
+  (** [make v] allocates a fresh location holding [v]. [node] is a NUMA
+      placement hint (the simulator homes the line there); [name] labels
+      the location in checker traces. Both are ignored by the
+      real-memory backend. *)
+
+  val colocated : 'b aref -> ?name:string -> 'a -> 'a aref
+  (** Allocate on the {e same cache line} as an existing location — how
+      a real ticket lock packs [next] and [grant] into one line, or an
+      MCS node its flag and link. The simulator charges coherence costs
+      per line, so colocation models the true/false sharing of the
+      packed layout; other backends ignore it. *)
+
+  type anchor
+  (** An untyped handle on a location's cache line, letting code on the
+      other side of an abstraction boundary colocate with it — this is
+      how CLoF's per-cohort metadata "extends the low lock" (paper
+      Section 4.1.1) and lands in the lock's own line. *)
+
+  val anchor : 'a aref -> anchor
+
+  val make_on : anchor -> ?name:string -> 'a -> 'a aref
+  (** Allocate on the anchored line. *)
+
+  val load : ?o:Memory_order.t -> 'a aref -> 'a
+  (** Defaults to [Seq_cst]. *)
+
+  val store : ?o:Memory_order.t -> ?rmw:bool -> 'a aref -> 'a -> unit
+  (** Defaults to [Seq_cst]. [rmw:true] requests the store be performed
+      as an unconditional compare-exchange — Hemlock's x86
+      coherence-traffic-reduction trick (paper Section 2.1). Semantics
+      are identical; the simulator charges it as an RMW (cheap handover
+      on x86 MESIF, pathological under Armv8 LL/SC contention). *)
+
+  val cas : 'a aref -> expected:'a -> desired:'a -> bool
+  (** Compare-and-set with {e physical} equality, matching
+      [Atomic.compare_and_set]. Locks therefore CAS only immediates
+      (ints, bools) or mutable record values used as stable node
+      identities — never freshly allocated boxes. *)
+
+  val exchange : 'a aref -> 'a -> 'a
+
+  val fetch_add : int aref -> int -> int
+
+  val await : ?rmw:bool -> 'a aref -> ('a -> bool) -> 'a
+  (** [await r pred] spins until [pred (load r)] holds and returns the
+      witnessing value. The real backend is literally a pause loop; the
+      simulator blocks the green thread and wakes it with the line-
+      transfer latency; the checker treats the thread as enabled exactly
+      when [pred] holds (a spinloop in the sense of the paper's
+      spinloop-termination property). [rmw:true] marks each poll as an
+      RMW on the line (the other half of the CTR trick). *)
+
+  val fence : unit -> unit
+  (** Full barrier. *)
+
+  val pause : unit -> unit
+  (** CPU relax hint inside hand-written retry loops. *)
+end

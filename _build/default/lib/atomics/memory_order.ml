@@ -1,0 +1,18 @@
+(** C11-style memory-order annotations.
+
+    The real-memory backend ignores them (OCaml [Atomic] is sequentially
+    consistent); the simulator charges barrier costs for the stronger
+    orders; the model checker's TSO mode gives them meaning: a [Relaxed]
+    or [Release] store may linger in the store buffer, while a [Seq_cst]
+    store drains it. They document the intended barrier placement of
+    each lock, which is the paper's aspect A4. *)
+
+type t = Relaxed | Acquire | Release | Seq_cst
+
+let to_string = function
+  | Relaxed -> "rlx"
+  | Acquire -> "acq"
+  | Release -> "rel"
+  | Seq_cst -> "sc"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,38 @@
+(** [MEMORY] over real OCaml multicore atomics.
+
+    Every operation is sequentially consistent ([Atomic] provides no
+    weaker orders), so the memory-order annotations are documentation
+    here. Used by the 2-domain stress tests, which exercise the lock
+    algorithms on the host's real cores. *)
+
+type 'a aref = 'a Atomic.t
+
+let make ?node:_ ?name:_ v = Atomic.make v
+let colocated _other ?name:_ v = Atomic.make v
+
+type anchor = unit
+
+let anchor _ = ()
+let make_on () ?name:_ v = Atomic.make v
+let load ?o:_ r = Atomic.get r
+let store ?o:_ ?rmw:_ r v = Atomic.set r v
+let cas r ~expected ~desired = Atomic.compare_and_set r expected desired
+let exchange r v = Atomic.exchange r v
+let fetch_add r n = Atomic.fetch_and_add r n
+
+let pause () = Domain.cpu_relax ()
+
+let await ?rmw:_ r pred =
+  let rec go () =
+    let v = Atomic.get r in
+    if pred v then v
+    else begin
+      pause ();
+      go ()
+    end
+  in
+  go ()
+
+let barrier = Atomic.make 0
+
+let fence () = ignore (Atomic.fetch_and_add barrier 0)

@@ -1,0 +1,1 @@
+lib/baselines/cna.ml: Clof_atomics Clof_core Clof_topology List Option

@@ -1,0 +1,1 @@
+lib/baselines/cna.mli: Clof_atomics Clof_core

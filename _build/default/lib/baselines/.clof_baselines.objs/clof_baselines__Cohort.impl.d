@@ -1,0 +1,1 @@
+lib/baselines/cohort.ml: Clof_atomics Clof_core Clof_locks Clof_topology Level

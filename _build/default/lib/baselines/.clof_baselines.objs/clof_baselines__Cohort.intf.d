@@ -1,0 +1,1 @@
+lib/baselines/cohort.mli: Clof_atomics Clof_core

@@ -1,0 +1,1 @@
+lib/baselines/hmcs.ml: Array Clof_atomics Clof_core Clof_topology Level List Printf Topology

@@ -1,0 +1,1 @@
+lib/baselines/hmcs.mli: Clof_atomics Clof_core Clof_topology

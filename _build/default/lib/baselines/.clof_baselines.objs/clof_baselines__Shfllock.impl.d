@@ -1,0 +1,1 @@
+lib/baselines/shfllock.ml: Clof_atomics Clof_core Clof_topology

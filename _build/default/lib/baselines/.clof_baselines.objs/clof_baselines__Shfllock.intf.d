@@ -1,0 +1,1 @@
+lib/baselines/shfllock.mli: Clof_atomics Clof_core

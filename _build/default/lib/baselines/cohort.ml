@@ -1,0 +1,17 @@
+open Clof_topology
+
+module Make (M : Clof_atomics.Memory_intf.S) = struct
+  module R = Clof_locks.Registry.Make (M)
+  module G = Clof_core.Generator.Make (M)
+
+  let hier = [ Level.Numa_node; Level.System ]
+
+  let cohort name low high =
+    Clof_core.Runtime.rename name
+      (Clof_core.Runtime.of_clof ~hierarchy:hier (G.build [ low; high ]))
+
+  let c_bo_mcs = cohort "c-bo-mcs" R.mcs R.backoff
+  let c_mcs_mcs = cohort "c-mcs-mcs" R.mcs R.mcs
+  let c_tkt_tkt = cohort "c-tkt-tkt" R.ticket R.ticket
+  let all = [ c_bo_mcs; c_mcs_mcs; c_tkt_tkt ]
+end

@@ -1,0 +1,34 @@
+(** HMCS lock (Chabbi, Fagan & Mellor-Crummey, PPoPP'15): a tree of MCS
+    locks mirroring the NUMA hierarchy, with the passing threshold fused
+    into the MCS queue-node status word — the paper's strongest
+    baseline (level-homogeneous, Section 2.2).
+
+    Status protocol per queue node: [wait] while enqueued; a positive
+    count [c] means the lock was passed locally and [c] intra-cohort
+    handovers have happened this epoch; [acquire_parent] tells the new
+    cohort head that the parent lock must be (re)acquired. Only one
+    thread at a time is head of a given tree node's queue, so each tree
+    node owns a single queue node for enqueueing into its parent. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) : sig
+  type t
+  type ctx
+
+  val create :
+    ?h:int ->
+    topo:Clof_topology.Topology.t ->
+    hierarchy:Clof_topology.Topology.hierarchy ->
+    unit ->
+    t
+  (** [h] is the per-level passing threshold (default 128, HMCS's and
+      CLoF's shared default). *)
+
+  val ctx_create : t -> cpu:int -> ctx
+  val acquire : t -> ctx -> unit
+  val release : t -> ctx -> unit
+
+  val spec :
+    ?h:int -> hierarchy:Clof_topology.Topology.hierarchy -> unit ->
+    Clof_core.Runtime.spec
+  (** Named ["hmcs<n>"] after the hierarchy depth. *)
+end

@@ -1,0 +1,26 @@
+(** ShflLock (Kashyap et al., SOSP'19), simplified: a central TAS word
+    plus an MCS-style waiter queue in which the {e head waiter} shuffles
+    waiters from its own NUMA node toward the front before competing for
+    the TAS word. Captures the two properties the paper relies on:
+    NUMA-local handover preference, and the shuffling overhead at low
+    contention (Section 3.4). Two-level only, like CNA.
+
+    Simplifications vs. the published lock: no per-policy plug-in (the
+    policy here is fixed to NUMA proximity), a bounded scan window
+    instead of batched shuffling rounds, and no sleeping waiters. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) : sig
+  type t
+  type ctx
+
+  val create : ?scan:int -> unit -> t
+  (** [scan]: how many queued waiters the head waiter examines per
+      shuffle (default 8). *)
+
+  val ctx_create : t -> numa:int -> ctx
+  val acquire : t -> ctx -> unit
+  val release : t -> ctx -> unit
+
+  val spec : ?scan:int -> unit -> Clof_core.Runtime.spec
+  (** Named ["shfl"]. *)
+end

@@ -1,0 +1,1 @@
+lib/clof/aspects.ml: Format List

@@ -1,0 +1,1 @@
+lib/clof/clof_intf.ml: Clof_topology

@@ -1,0 +1,1 @@
+lib/clof/compose.ml: Array Clof_atomics Clof_intf Clof_locks Clof_topology Level List Option Topology

@@ -1,0 +1,1 @@
+lib/clof/compose.mli: Clof_atomics Clof_intf Clof_locks

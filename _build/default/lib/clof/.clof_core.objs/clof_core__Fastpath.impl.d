@@ -1,0 +1,1 @@
+lib/clof/fastpath.ml: Clof_atomics Clof_intf

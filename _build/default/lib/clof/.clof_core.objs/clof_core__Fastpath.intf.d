@@ -1,0 +1,1 @@
+lib/clof/fastpath.mli: Clof_atomics Clof_intf

@@ -1,0 +1,1 @@
+lib/clof/generator.ml: Clof_atomics Clof_intf Clof_locks Compose Fun List Option String

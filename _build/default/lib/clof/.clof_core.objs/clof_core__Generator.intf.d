@@ -1,0 +1,1 @@
+lib/clof/generator.mli: Clof_atomics Clof_intf Clof_locks

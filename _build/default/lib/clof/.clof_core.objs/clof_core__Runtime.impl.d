@@ -1,0 +1,1 @@
+lib/clof/runtime.ml: Clof_intf Clof_locks Clof_topology

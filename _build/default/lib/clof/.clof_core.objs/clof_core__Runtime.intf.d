@@ -1,0 +1,1 @@
+lib/clof/runtime.mli: Clof_intf Clof_locks Clof_topology

@@ -1,0 +1,1 @@
+lib/clof/selection.ml: Float List String

@@ -1,0 +1,1 @@
+lib/clof/selection.mli:

@@ -1,0 +1,38 @@
+(** Table 1 of the paper: key-aspect coverage of recent NUMA-aware
+    locks. A1 multi-level, A2 heterogeneity, A3 architecture-optimized,
+    A4 correctness on weak memory models. *)
+
+type entry = {
+  algorithm : string;
+  a1 : bool;
+  a2 : bool;
+  a3 : bool;
+  a4 : bool;
+}
+
+let table =
+  [
+    { algorithm = "CNA lock"; a1 = false; a2 = false; a3 = false; a4 = false };
+    { algorithm = "ShflLock"; a1 = false; a2 = false; a3 = false; a4 = false };
+    { algorithm = "HMCS"; a1 = true; a2 = false; a3 = false; a4 = false };
+    { algorithm = "HMCS-WMM"; a1 = true; a2 = false; a3 = false; a4 = true };
+    {
+      algorithm = "lock cohorting";
+      a1 = false;
+      a2 = true;
+      a3 = true;
+      a4 = false;
+    };
+    { algorithm = "CLoF"; a1 = true; a2 = true; a3 = true; a4 = true };
+  ]
+
+let mark b = if b then "Y" else "-"
+
+let pp ppf () =
+  Format.fprintf ppf "%-16s %-3s %-3s %-3s %-3s@." "Algorithm" "A1" "A2" "A3"
+    "A4";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-16s %-3s %-3s %-3s %-3s@." e.algorithm (mark e.a1)
+        (mark e.a2) (mark e.a3) (mark e.a4))
+    table

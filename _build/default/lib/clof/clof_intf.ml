@@ -1,0 +1,58 @@
+(** Interface of a CLoF-generated multi-level lock (ClofLocks in the
+    grammar of Figure 6).
+
+    A value of type [t] is the whole tree for one critical section: one
+    low-lock instance per cohort of each hierarchy level, sharing the
+    higher-level locks up to the single system-level root. A thread's
+    [ctx] fixes its leaf cohort (from its CPU) and carries the leaf
+    lock's context; contexts for the higher locks live inside the tree's
+    metadata and are owned by whoever holds the lock below them (the
+    context invariant of Section 4.1.3). *)
+
+module type S = sig
+  type t
+  type ctx
+
+  val name : string
+  (** Innermost-first composition name, e.g. ["tkt-clh-tkt-tkt"]
+      (Section 5.2.1 notation). *)
+
+  val fair : bool
+  (** Fair iff every composed basic lock is fair (Theorem 4.1). *)
+
+  val depth : int
+  (** Number of hierarchy levels. *)
+
+  val create :
+    ?h:int ->
+    topo:Clof_topology.Topology.t ->
+    hierarchy:Clof_topology.Topology.hierarchy ->
+    unit ->
+    t
+  (** Builds the lock tree for the given hierarchy (innermost level
+      first, length [depth]). [h] is the [keep_local] threshold: how
+      many consecutive intra-cohort handovers are allowed per level
+      before the lock must flow outward (default 128, as in the paper
+      and HMCS).
+      @raise Invalid_argument if the hierarchy length differs from
+      [depth]. *)
+
+  val ctx_create : t -> cpu:int -> ctx
+
+  val acquire : t -> ctx -> unit
+  val release : t -> ctx -> unit
+end
+
+type packed = (module S)
+
+let name (p : packed) =
+  let (module L) = p in
+  L.name
+
+let depth (p : packed) =
+  let (module L) = p in
+  L.depth
+
+let is_fair (p : packed) =
+  let (module L) = p in
+  L.fair

@@ -1,0 +1,161 @@
+open Clof_topology
+
+let numa_of_cohort topo lvl cohort =
+  match Topology.cpus_of_cohort topo lvl cohort with
+  | cpu :: _ -> Topology.cohort_of topo Level.Numa_node cpu
+  | [] -> invalid_arg "Compose: empty cohort"
+
+module Base (B : Clof_locks.Lock_intf.S) = struct
+  type t = { lock : B.t; topo : Topology.t }
+  type ctx = B.ctx
+
+  let name = B.name
+  let fair = B.fair
+  let depth = 1
+
+  let create ?h:_ ~topo ~hierarchy () =
+    (match hierarchy with
+    | [ Level.System ] -> ()
+    | _ ->
+        invalid_arg
+          "Clof.Base.create: hierarchy must be exactly [System]");
+    { lock = B.create ~node:0 (); topo }
+
+  let ctx_create t ~cpu =
+    let node = Topology.cohort_of t.topo Level.Numa_node cpu in
+    B.ctx_create ~node t.lock
+
+  let acquire t ctx = B.acquire t.lock ctx
+  let release t ctx = B.release t.lock ctx
+end
+
+module Compose
+    (M : Clof_atomics.Memory_intf.S)
+    (Low : Clof_locks.Lock_intf.S with type anchor = M.anchor)
+    (High : Clof_intf.S) =
+struct
+  (* Metadata extending each low lock, as in Section 4.1: the waiter
+     counter (read indicator), the pass flag (has_high_lock), the
+     keep_local counter, and the context used to acquire/release the
+     high lock — owned by whoever owns the low lock. *)
+  type meta = {
+    waiters : int M.aref;
+    high_locked : bool M.aref;
+    mutable local_count : int;
+        (* keep_local counter; owner-only, so a plain field — like
+           HMCS's count fused into the status word *)
+    high_ctx : High.ctx;
+  }
+
+  type t = {
+    level : Level.t;
+    h : int;
+    topo : Topology.t;
+    lows : Low.t array;
+    metas : meta array;
+    high : High.t;
+  }
+
+  type ctx = {
+    cohort : int;
+    low_ctx : Low.ctx;
+    mutable got_passed : bool;
+        (* whether the high lock arrived by intra-cohort passing; also
+           tells release whether the pass flag needs clearing *)
+  }
+
+  let name = Low.name ^ "-" ^ High.name
+  let fair = Low.fair && High.fair
+  let depth = High.depth + 1
+  let counted = Option.is_none Low.has_waiters
+
+  let create ?(h = 128) ~topo ~hierarchy () =
+    match hierarchy with
+    | [] -> invalid_arg "Clof.Compose.create: empty hierarchy"
+    | level :: rest ->
+        if List.length rest <> High.depth then
+          invalid_arg "Clof.Compose.create: hierarchy depth mismatch";
+        let high = High.create ~h ~topo ~hierarchy:rest () in
+        let ncoh = Topology.ncohorts topo level in
+        let mk_low i =
+          Low.create ~node:(numa_of_cohort topo level i) ()
+        in
+        let lows = Array.init ncoh mk_low in
+        (* metadata extends the low lock: it lives on the low lock's own
+           cache line, as in the paper's l = (tau, o, d) packing *)
+        let mk_meta i =
+          let cpu =
+            match Topology.cpus_of_cohort topo level i with
+            | cpu :: _ -> cpu
+            | [] -> assert false
+          in
+          let on = Low.anchor lows.(i) in
+          {
+            waiters = M.make_on on ~name:"clof.waiters" 0;
+            high_locked = M.make_on on ~name:"clof.high_locked" false;
+            local_count = 0;
+            high_ctx = High.ctx_create high ~cpu;
+          }
+        in
+        {
+          level;
+          h;
+          topo;
+          lows;
+          metas = Array.init ncoh mk_meta;
+          high;
+        }
+
+  let ctx_create t ~cpu =
+    let cohort = Topology.cohort_of t.topo t.level cpu in
+    let node = Topology.cohort_of t.topo Level.Numa_node cpu in
+    {
+      cohort;
+      low_ctx = Low.ctx_create ~node t.lows.(cohort);
+      got_passed = false;
+    }
+
+  (* lockgen(acq(CLoF(l, L), c)) of Figure 8 *)
+  let acquire t ctx =
+    let low = t.lows.(ctx.cohort) and m = t.metas.(ctx.cohort) in
+    if counted then ignore (M.fetch_add m.waiters 1);
+    Low.acquire low ctx.low_ctx;
+    if counted then ignore (M.fetch_add m.waiters (-1));
+    ctx.got_passed <- M.load ~o:Acquire m.high_locked;
+    if not ctx.got_passed then High.acquire t.high m.high_ctx
+
+  (* keep_local (Section 4.1.2): allow up to [h] consecutive local
+     handovers, then force the high lock outward. Owner-only state. *)
+  let keep_local t m =
+    if m.local_count + 1 >= t.h then begin
+      m.local_count <- 0;
+      false
+    end
+    else begin
+      m.local_count <- m.local_count + 1;
+      true
+    end
+
+  let has_low_waiters low m ctx =
+    match Low.has_waiters with
+    | Some f -> f low ctx
+    | None -> M.load ~o:Relaxed m.waiters > 0
+
+  (* lockgen(rel(CLoF(l, L), c)) of Figure 8. The order in the second
+     branch — clear flag, release High, release Low — is load-bearing:
+     releasing Low first would let the next owner race us for
+     [m.high_ctx], violating the context invariant (Section 4.1.3). *)
+  let release t ctx =
+    let low = t.lows.(ctx.cohort) and m = t.metas.(ctx.cohort) in
+    if has_low_waiters low m ctx.low_ctx && keep_local t m then begin
+      if not ctx.got_passed then M.store ~o:Release m.high_locked true;
+      Low.release low ctx.low_ctx
+    end
+    else begin
+      (* only the pass path ever sets the flag, so it needs clearing
+         exactly when the high lock arrived by passing *)
+      if ctx.got_passed then M.store ~o:Relaxed m.high_locked false;
+      High.release t.high m.high_ctx;
+      Low.release low ctx.low_ctx
+    end
+end

@@ -1,0 +1,17 @@
+(** The CLoF lock generator, Figure 8 of the paper, as OCaml functors.
+
+    [Base] lifts a basic lock to a 1-level CLoF lock protecting the
+    system cohort — the base case of the syntactic recursion.
+    [Compose (M) (Low) (High)] is the inductive case [CLoF(l, L)]: one
+    [Low] instance per cohort of the composition's innermost level,
+    sharing the [High] lock above. The functor body is the unfolded
+    [lockgen] of Figure 8, including the lock-passing mechanism
+    (Section 4.1.2) and the release ordering that preserves the context
+    invariant (high lock released {e before} the low lock). *)
+
+module Base (B : Clof_locks.Lock_intf.S) : Clof_intf.S
+
+module Compose
+    (M : Clof_atomics.Memory_intf.S)
+    (Low : Clof_locks.Lock_intf.S with type anchor = M.anchor)
+    (High : Clof_intf.S) : Clof_intf.S

@@ -1,0 +1,34 @@
+module Make (M : Clof_atomics.Memory_intf.S) (L : Clof_intf.S) = struct
+  type t = { word : bool M.aref; slow : L.t }
+  type ctx = L.ctx
+
+  let name = "fp-" ^ L.name
+  let fair = false (* barging trades fairness for the fast path *)
+  let depth = L.depth
+
+  let create ?h ~topo ~hierarchy () =
+    {
+      word = M.make ~name:"fp.word" false;
+      slow = L.create ?h ~topo ~hierarchy ();
+    }
+
+  let ctx_create t ~cpu = L.ctx_create t.slow ~cpu
+
+  let take_word t =
+    let rec go () =
+      ignore (M.await t.word (fun held -> not held));
+      if not (M.cas t.word ~expected:false ~desired:true) then go ()
+    in
+    go ()
+
+  let acquire t ctx =
+    (* one CAS when uncontended; otherwise queue through the CLoF lock
+       so only one queued thread at a time competes with bargers *)
+    if not (M.cas t.word ~expected:false ~desired:true) then begin
+      L.acquire t.slow ctx;
+      take_word t;
+      L.release t.slow ctx
+    end
+
+  let release t _ctx = M.store ~o:Release t.word false
+end

@@ -1,0 +1,14 @@
+(** TAS fast path for CLoF locks — the extension the paper leaves as
+    straightforward future work (Section 6: "Extending CLoF with the
+    same TAS approach as ShflLock is rather simple").
+
+    A single test-and-set word guards the critical section; an
+    uncontended acquire is one CAS instead of a walk up the lock tree.
+    Contended threads queue through the underlying CLoF lock, and only
+    the CLoF owner competes with fast-path barging for the TAS word, so
+    mutual exclusion reduces to the TAS word and ordering to the CLoF
+    lock. The price is the paper's usual fast-path caveat: barging can
+    overtake the queue briefly, so strict FIFO fairness is lost. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) (L : Clof_intf.S) :
+  Clof_intf.S

@@ -1,0 +1,25 @@
+(** Exhaustive generation of CLoF locks (Section 4.3): with N basic
+    locks and M hierarchy levels there are N^M compositions. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) : sig
+  type basic = M.anchor Clof_locks.Lock_intf.packed
+
+  val build : basic list -> Clof_intf.packed
+  (** [build [l1; ...; ln]] composes one basic lock per level, innermost
+      first, into an n-level CLoF lock — folding {!Compose.Compose}
+      right-to-left over {!Compose.Base}.
+      @raise Invalid_argument on the empty list. *)
+
+  val choices : basics:basic list -> depth:int -> basic list list
+  (** All N^M ways of picking one basic lock per level. Ordered
+      lexicographically by level (innermost varies slowest), so
+      ["tkt-tkt"] comes before ["tkt-mcs"]. *)
+
+  val generate : basics:basic list -> depth:int -> Clof_intf.packed list
+  (** [build] over [choices] — the paper's "hundreds of multi-level
+      heterogeneous locks" (256 for N=4, M=4). *)
+
+  val of_name : basics:basic list -> string -> Clof_intf.packed option
+  (** Parse a composition name like ["hem-hem-mcs-clh"] back into a
+      lock, resolving each abbreviation in [basics]. *)
+end

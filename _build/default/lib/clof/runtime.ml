@@ -1,0 +1,53 @@
+type handle = { acquire : unit -> unit; release : unit -> unit }
+type lock = { l_name : string; handle : cpu:int -> handle }
+
+type spec = {
+  s_name : string;
+  instantiate : Clof_topology.Topology.t -> lock;
+}
+
+let of_clof ?h ~hierarchy (packed : Clof_intf.packed) =
+  let (module L) = packed in
+  {
+    s_name = L.name;
+    instantiate =
+      (fun topo ->
+        let t = L.create ?h ~topo ~hierarchy () in
+        {
+          l_name = L.name;
+          handle =
+            (fun ~cpu ->
+              let ctx = L.ctx_create t ~cpu in
+              {
+                acquire = (fun () -> L.acquire t ctx);
+                release = (fun () -> L.release t ctx);
+              });
+        })
+  }
+
+let of_basic (type a) (packed : a Clof_locks.Lock_intf.packed) =
+  let (module B) = packed in
+  {
+    s_name = B.name;
+    instantiate =
+      (fun _topo ->
+        let t = B.create ~node:0 () in
+        {
+          l_name = B.name;
+          handle =
+            (fun ~cpu ->
+              ignore cpu;
+              let ctx = B.ctx_create t in
+              {
+                acquire = (fun () -> B.acquire t ctx);
+                release = (fun () -> B.release t ctx);
+              });
+        })
+  }
+
+let rename name spec =
+  {
+    s_name = name;
+    instantiate =
+      (fun topo -> { (spec.instantiate topo) with l_name = name });
+  }

@@ -1,0 +1,38 @@
+(** Uniform runtime representation of a lock, used by workloads and the
+    scripted benchmark.
+
+    This plays the role of the paper's LD_PRELOAD pthread interposition
+    (Section 5.1.2): benchmarks are written once against {!handle} and
+    any lock — basic, CLoF-generated, or baseline — is swapped in by
+    passing a different {!spec}. *)
+
+type handle = {
+  acquire : unit -> unit;
+  release : unit -> unit;
+}
+(** Per-thread view of a lock, with the context already bound. *)
+
+type lock = {
+  l_name : string;
+  handle : cpu:int -> handle;
+      (** Create this thread's context; call once per thread. *)
+}
+
+type spec = {
+  s_name : string;
+  instantiate : Clof_topology.Topology.t -> lock;
+      (** Build a fresh lock for one benchmark run. *)
+}
+
+val of_clof :
+  ?h:int ->
+  hierarchy:Clof_topology.Topology.hierarchy ->
+  Clof_intf.packed ->
+  spec
+(** A CLoF lock on the given hierarchy. The spec name is the
+    composition name. *)
+
+val of_basic : 'a Clof_locks.Lock_intf.packed -> spec
+(** A NUMA-oblivious lock used directly as the single global lock. *)
+
+val rename : string -> spec -> spec

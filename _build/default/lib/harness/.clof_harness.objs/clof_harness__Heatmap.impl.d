@@ -1,0 +1,1 @@
+lib/harness/heatmap.ml: Clof_topology Clof_workloads Hashtbl Level List Platform Render Topology

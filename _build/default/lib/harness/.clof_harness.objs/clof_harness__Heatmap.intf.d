@@ -1,0 +1,1 @@
+lib/harness/heatmap.mli: Clof_topology

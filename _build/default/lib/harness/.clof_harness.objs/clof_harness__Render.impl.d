@@ -1,0 +1,1 @@
+lib/harness/render.ml: Array Buffer List Printf String

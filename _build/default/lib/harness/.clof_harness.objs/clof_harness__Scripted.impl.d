@@ -1,0 +1,1 @@
+lib/harness/scripted.ml: Clof_baselines Clof_core Clof_locks Clof_sim Clof_topology Clof_workloads List Platform

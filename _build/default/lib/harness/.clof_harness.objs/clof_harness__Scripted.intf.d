@@ -1,0 +1,1 @@
+lib/harness/scripted.mli: Clof_core Clof_topology Clof_workloads

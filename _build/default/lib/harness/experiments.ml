@@ -1,0 +1,588 @@
+open Clof_topology
+module M = Clof_sim.Sim_mem
+module R = Clof_locks.Registry.Make (M)
+module G = Clof_core.Generator.Make (M)
+module Hmcs = Clof_baselines.Hmcs.Make (M)
+module Cna = Clof_baselines.Cna.Make (M)
+module Shfl = Clof_baselines.Shfllock.Make (M)
+module Cohort = Clof_baselines.Cohort.Make (M)
+module W = Clof_workloads.Workload
+module RT = Clof_core.Runtime
+module Sel = Clof_core.Selection
+
+let quick = ref false
+let set_quick b = quick := b
+
+let leveldb () =
+  if !quick then { W.leveldb with W.duration = 150_000 } else W.leveldb
+
+let kyoto () =
+  if !quick then { W.kyoto with W.duration = 300_000 } else W.kyoto
+
+let grid p =
+  let g = Scripted.thread_grid p in
+  if !quick then
+    List.filter (fun n -> n = 1 || n = 8 || n = 32 || n >= 95) g
+  else g
+
+(* ---------- memoized building blocks ---------- *)
+
+let heatmaps : (string, Heatmap.t) Hashtbl.t = Hashtbl.create 4
+
+let heatmap_of p =
+  let key = Topology.name p.Platform.topo in
+  match Hashtbl.find_opt heatmaps key with
+  | Some h -> h
+  | None ->
+      let stride =
+        (if p.Platform.arch = Platform.X86 then 3 else 4)
+        * if !quick then 2 else 1
+      in
+      let h = Heatmap.measure ~stride ~platform:p () in
+      Hashtbl.add heatmaps key h;
+      h
+
+let sweeps : (string * int, Scripted.t) Hashtbl.t = Hashtbl.create 8
+
+let sweep_of p depth =
+  let key = (Topology.name p.Platform.topo, depth) in
+  match Hashtbl.find_opt sweeps key with
+  | Some s -> s
+  | None ->
+      let s =
+        Scripted.run ~params:(leveldb ()) ~threadcounts:(grid p) ~platform:p
+          ~depth ()
+      in
+      Hashtbl.add sweeps key s;
+      s
+
+let sweep_spec ~platform ~params spec =
+  List.map
+    (fun n ->
+      let r = W.run ~platform ~nthreads:n ~spec params in
+      (n, r.W.throughput))
+    (grid platform)
+
+let series_table ppf ~platform (series : Sel.series list) =
+  let header =
+    "lock" :: List.map string_of_int (grid platform)
+  in
+  let rows = List.map (fun s -> (s.Sel.lock, List.map snd s.points)) series in
+  Format.pp_print_string ppf (Render.table ~header ~rows)
+
+let lc_best_name p depth = (Scripted.lc_best (sweep_of p depth)).Sel.lock
+
+let clof_spec ?h p depth =
+  let name = lc_best_name p depth in
+  let label =
+    Printf.sprintf "clof<%d>-%s (%s)" depth
+      (Platform.arch_to_string p.Platform.arch)
+      name
+  in
+  RT.rename label (Scripted.spec_of_name ~platform:p ~depth ?h name)
+
+(* ---------- experiments ---------- *)
+
+let table1 ppf () =
+  Format.pp_print_string ppf
+    (Render.section "Table 1: key-aspect coverage of NUMA-aware locks");
+  Clof_core.Aspects.pp ppf ()
+
+let fig1 ppf () =
+  List.iter
+    (fun p ->
+      let h = heatmap_of p in
+      Format.pp_print_string ppf
+        (Render.section
+           (Printf.sprintf
+              "Figure 1%s: ping-pong heatmap, %s (darker = faster pair)"
+              (if p.Platform.arch = Platform.X86 then "a" else "b")
+              (Topology.name p.Platform.topo)));
+      Format.pp_print_string ppf (Heatmap.render h);
+      Format.fprintf ppf "inferred hierarchy: %s (paper: %s)@."
+        (Topology.hierarchy_to_string (Heatmap.infer_hierarchy h))
+        (Topology.hierarchy_to_string (Platform.hier4 p)))
+    [ Platform.x86; Platform.armv8 ]
+
+let table2 ppf () =
+  Format.pp_print_string ppf
+    (Render.section "Table 2: cohort speedups over the system cohort");
+  List.iter
+    (fun p ->
+      let h = heatmap_of p in
+      let measured = Heatmap.speedups h in
+      let paper = Heatmap.paper_speedups p in
+      Format.fprintf ppf "%s:@." (Topology.name p.Platform.topo);
+      List.iter
+        (fun (prox, reference) ->
+          match List.assoc_opt prox measured with
+          | Some m when prox <> Level.Same_cpu ->
+              Format.fprintf ppf "  %-14s measured %6.2f   paper %6.2f@."
+                (Level.proximity_to_string prox)
+                m reference
+          | Some _ | None -> ())
+        paper)
+    [ Platform.x86; Platform.armv8 ]
+
+let fig2 ppf () =
+  let p = Platform.x86 in
+  Format.pp_print_string ppf
+    (Render.section
+       "Figure 2: LevelDB on x86 - HMCS depths and CLoF<4> vs MCS");
+  let specs =
+    [
+      RT.of_basic R.mcs;
+      Hmcs.spec ~hierarchy:(Platform.hier2 p) ();
+      RT.rename "hmcs<3>" (Hmcs.spec ~hierarchy:(Platform.hier3_hmcs_orig p) ());
+      RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
+      clof_spec p 4;
+    ]
+  in
+  let series =
+    List.map
+      (fun spec ->
+        {
+          Sel.lock = spec.RT.s_name;
+          points = sweep_spec ~platform:p ~params:(leveldb ()) spec;
+        })
+      specs
+  in
+  series_table ppf ~platform:p series
+
+(* Figure 3: basic locks on isolated cohorts at maximum contention, one
+   thread per child cohort (one per hyperthread at the core level). *)
+let cohort_cpus topo level =
+  let cpus =
+    Topology.cpus_of_cohort topo level (Topology.cohort_of topo level 0)
+  in
+  let child = function
+    | Level.Core -> None
+    | Level.Cache_group -> Some Level.Core
+    | Level.Numa_node -> Some Level.Cache_group
+    | Level.Package -> Some Level.Numa_node
+    | Level.System -> Some Level.Package
+  in
+  match child level with
+  | None -> Array.of_list cpus
+  | Some c ->
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun cpu ->
+          let id = Topology.cohort_of topo c cpu in
+          if Hashtbl.mem seen id then false
+          else begin
+            Hashtbl.add seen id ();
+            true
+          end)
+        cpus
+      |> Array.of_list
+
+let fig3 ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Figure 3: NUMA-oblivious locks per cohort at max contention \
+        (iter/us)");
+  let params = { (leveldb ()) with W.noncs_work = 300 } in
+  List.iter
+    (fun (p, levels) ->
+      let locks =
+        [
+          R.ticket;
+          R.mcs;
+          R.clh;
+          R.hemlock ~label:"hem" ~ctr:false ();
+          R.hemlock ~label:"hem-ctr" ~ctr:true ();
+        ]
+      in
+      Format.fprintf ppf "%s:@." (Topology.name p.Platform.topo);
+      let header =
+        "cohort" :: List.map Clof_locks.Lock_intf.name locks
+      in
+      let rows =
+        List.map
+          (fun level ->
+            let cpus = cohort_cpus p.Platform.topo level in
+            let cells =
+              List.map
+                (fun lk ->
+                  let r =
+                    W.run_on_cpus ~check:false ~platform:p ~cpus
+                      ~spec:(RT.of_basic lk) params
+                  in
+                  r.W.throughput)
+                locks
+            in
+            ( Printf.sprintf "%s(%dT)" (Level.abbrev level)
+                (Array.length cpus),
+              cells ))
+          levels
+      in
+      Format.pp_print_string ppf (Render.table ~header ~rows))
+    [
+      ( Platform.x86,
+        [ Level.Core; Level.Cache_group; Level.Numa_node; Level.System ] );
+      ( Platform.armv8,
+        [ Level.Cache_group; Level.Numa_node; Level.Package; Level.System ]
+      );
+    ]
+
+let fig4 ppf () =
+  let p = Platform.armv8 in
+  Format.pp_print_string ppf
+    (Render.section
+       "Figure 4: LevelDB on Armv8 - CLoF<4> vs state-of-the-art");
+  let specs =
+    [
+      clof_spec p 4;
+      RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
+      RT.of_basic R.mcs;
+      Cna.spec ();
+      Shfl.spec ();
+    ]
+  in
+  let series =
+    List.map
+      (fun spec ->
+        {
+          Sel.lock = spec.RT.s_name;
+          points = sweep_spec ~platform:p ~params:(leveldb ()) spec;
+        })
+      specs
+  in
+  series_table ppf ~platform:p series
+
+let fig9 ppf p depth tag =
+  let s = sweep_of p depth in
+  let hc = Scripted.hc_best s
+  and lc = Scripted.lc_best s
+  and worst = Scripted.worst s in
+  Format.pp_print_string ppf
+    (Render.section
+       (Printf.sprintf
+          "Figure 9%s: all %d CLoF locks, %d levels, %s (hierarchy %s)" tag
+          (List.length s.Scripted.series)
+          depth
+          (Topology.name p.Platform.topo)
+          (Topology.hierarchy_to_string (Platform.hierarchy_of_depth p depth))));
+  let beam_at i =
+    let vals =
+      List.map (fun srs -> snd (List.nth srs.Sel.points i)) s.Scripted.series
+    in
+    let n = float_of_int (List.length vals) in
+    ( List.fold_left min infinity vals,
+      List.fold_left ( +. ) 0.0 vals /. n,
+      List.fold_left max 0.0 vals )
+  in
+  let npts = List.length s.Scripted.threadcounts in
+  let named label srs = (label ^ " " ^ srs.Sel.lock, List.map snd srs.Sel.points) in
+  let rows =
+    [
+      named "HC-best" hc;
+      named "LC-best" lc;
+      named "worst" worst;
+      (s.Scripted.hmcs.Sel.lock, List.map snd s.Scripted.hmcs.Sel.points);
+      ("others(min)", List.init npts (fun i -> let a, _, _ = beam_at i in a));
+      ("others(mean)", List.init npts (fun i -> let _, a, _ = beam_at i in a));
+      ("others(max)", List.init npts (fun i -> let _, _, a = beam_at i in a));
+    ]
+  in
+  let header =
+    "lock" :: List.map string_of_int s.Scripted.threadcounts
+  in
+  Format.pp_print_string ppf (Render.table ~header ~rows)
+
+let fig10 ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Figure 10: LC-best CLoF locks vs state of the art, both \
+        platforms, LevelDB + Kyoto Cabinet");
+  (* cross-platform: each platform's winners also run on the other *)
+  let winners =
+    List.concat_map
+      (fun p -> [ clof_spec p 3; clof_spec p 4 ])
+      [ Platform.x86; Platform.armv8 ]
+  in
+  List.iter
+    (fun (wname, params) ->
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "%s - %s:@." wname
+            (Topology.name p.Platform.topo);
+          let specs =
+            winners
+            @ [
+                RT.rename "hmcs<4>"
+                  (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
+                Cna.spec ();
+                Shfl.spec ();
+              ]
+          in
+          let series =
+            List.map
+              (fun spec ->
+                {
+                  Sel.lock = spec.RT.s_name;
+                  points = sweep_spec ~platform:p ~params spec;
+                })
+              specs
+          in
+          series_table ppf ~platform:p series)
+        [ Platform.x86; Platform.armv8 ])
+    [ ("LevelDB", leveldb ()); ("Kyoto Cabinet", kyoto ()) ]
+
+let verify ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Section 4.2: model-checked base and induction steps (+ A4 \
+        exhibits)");
+  List.iter
+    (fun n ->
+      let r = Clof_verify.Scenarios.run n in
+      let ok =
+        Option.is_some r.Clof_verify.Checker.violation
+        = n.Clof_verify.Scenarios.expect_violation
+      in
+      Format.fprintf ppf "%s  -> %s@."
+        (Format.asprintf "%a" Clof_verify.Checker.pp_report r)
+        (if ok then "as expected" else "UNEXPECTED"))
+    (Clof_verify.Scenarios.all ())
+
+let verify_scaling ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Section 4.2.3: checker effort vs composition depth (paper: 1s / \
+        3min / >12h for GenMC)");
+  List.iter
+    (fun (depth, r) ->
+      Format.fprintf ppf "depth %d: %a@." depth Clof_verify.Checker.pp_report
+        r)
+    (Clof_verify.Scenarios.scaling ~max_depth:3 ())
+
+let jain counts =
+  let xs = Array.map float_of_int counts in
+  let s = Array.fold_left ( +. ) 0.0 xs in
+  let s2 = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+  if s2 = 0.0 then 1.0
+  else s *. s /. (float_of_int (Array.length xs) *. s2)
+
+let fairness ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Section 5.2.3: fairness (Jain index of per-thread ops; 1.0 = \
+        perfectly fair)");
+  List.iter
+    (fun p ->
+      let nthreads = if p.Platform.arch = Platform.X86 then 64 else 96 in
+      Format.fprintf ppf "%s, %d threads:@."
+        (Topology.name p.Platform.topo)
+        nthreads;
+      List.iter
+        (fun spec ->
+          let r =
+            W.run ~platform:p ~nthreads ~spec (leveldb ())
+          in
+          Format.fprintf ppf "  %-28s jain=%.4f (min %d, max %d ops)@."
+            r.W.lock (jain r.W.per_thread)
+            (Array.fold_left min max_int r.W.per_thread)
+            (Array.fold_left max 0 r.W.per_thread))
+        [
+          clof_spec p 4;
+          RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
+          Cna.spec ();
+          RT.of_basic R.mcs;
+          Cohort.c_bo_mcs;
+        ])
+    [ Platform.x86; Platform.armv8 ]
+
+let ablate_h ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Ablation: keep_local threshold H (default 128) - Armv8, LC-best \
+        CLoF<4>");
+  let p = Platform.armv8 in
+  let name = lc_best_name p 4 in
+  let threads = [ 8; 32; 127 ] in
+  let rows =
+    List.map
+      (fun h ->
+        let spec = Scripted.spec_of_name ~platform:p ~depth:4 ~h name in
+        let cells =
+          List.map
+            (fun n ->
+              (W.run ~platform:p ~nthreads:n ~spec (leveldb ()))
+                .W.throughput)
+            threads
+        in
+        (Printf.sprintf "H=%d" h, cells))
+      [ 1; 8; 32; 128; 512; 4096 ]
+  in
+  let header = name :: List.map string_of_int threads in
+  Format.pp_print_string ppf (Render.table ~header ~rows)
+
+let ablate_levels ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Ablation: hierarchy depth with a homogeneous CLH composition - \
+        Armv8");
+  let p = Platform.armv8 in
+  let threads = [ 1; 8; 32; 127 ] in
+  let spec_of depth =
+    if depth = 1 then RT.of_basic R.clh
+    else
+      RT.of_clof
+        ~hierarchy:(Platform.hierarchy_of_depth p depth)
+        (G.build (List.init depth (fun _ -> R.clh)))
+  in
+  let rows =
+    List.map
+      (fun depth ->
+        let spec = spec_of depth in
+        let cells =
+          List.map
+            (fun n ->
+              (W.run ~platform:p ~nthreads:n ~spec (leveldb ()))
+                .W.throughput)
+            threads
+        in
+        (Printf.sprintf "clof<%d> clh" depth, cells))
+      [ 1; 2; 3; 4 ]
+  in
+  let header = "depth" :: List.map string_of_int threads in
+  Format.pp_print_string ppf (Render.table ~header ~rows)
+
+let locality ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Locality: cache-line transfers by distance class (the \
+        keep_local mechanism observed directly, 95T x86 LevelDB)");
+  let p = Platform.x86 in
+  List.iter
+    (fun spec ->
+      let r = W.run ~platform:p ~nthreads:95 ~spec (leveldb ()) in
+      let total =
+        max 1 (List.fold_left (fun a (_, n) -> a + n) 0 r.W.transfers)
+      in
+      Format.fprintf ppf "%-26s" r.W.lock;
+      List.iter
+        (fun (prox, n) ->
+          if prox <> Level.Same_cpu then
+            Format.fprintf ppf "  %s %4.1f%%" (Level.abbrev_of_prox prox)
+              (100.0 *. float_of_int n /. float_of_int total))
+        r.W.transfers;
+      Format.fprintf ppf "   (%.3f ops/us)@." r.W.throughput)
+    [
+      RT.of_basic R.mcs;
+      RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
+      Cna.spec ();
+      clof_spec p 4;
+    ]
+
+let fastpath ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Extension (paper 6): TAS fast path for CLoF - x86 LevelDB");
+  let p = Platform.x86 in
+  let name = lc_best_name p 4 in
+  let basics = R.basics ~ctr:(Scripted.ctr_for p) in
+  let packed = Option.get (G.of_name ~basics name) in
+  let hierarchy = Platform.hier4 p in
+  let plain = RT.of_clof ~hierarchy packed in
+  let fp =
+    let (module L) = packed in
+    let module F = Clof_core.Fastpath.Make (M) (L) in
+    RT.of_clof ~hierarchy (module F : Clof_core.Clof_intf.S)
+  in
+  let threads = [ 1; 2; 4; 8; 32; 95 ] in
+  let rows =
+    List.map
+      (fun spec ->
+        ( spec.RT.s_name,
+          List.map
+            (fun n ->
+              (W.run ~platform:p ~nthreads:n ~spec (leveldb ()))
+                .W.throughput)
+            threads ))
+      [ plain; fp ]
+  in
+  let header = "lock" :: List.map string_of_int threads in
+  Format.pp_print_string ppf (Render.table ~header ~rows)
+
+let cohorts ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Lock cohorting baselines (2-level compositions, Section 2.3)");
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%s:@." (Topology.name p.Platform.topo);
+      let series =
+        List.map
+          (fun spec ->
+            {
+              Sel.lock = spec.RT.s_name;
+              points = sweep_spec ~platform:p ~params:(leveldb ()) spec;
+            })
+          (Cohort.all @ [ RT.of_basic R.mcs ])
+      in
+      series_table ppf ~platform:p series)
+    [ Platform.x86 ]
+
+let discover ppf () =
+  Format.pp_print_string ppf
+    (Render.section "Hierarchy discovery (Figure 5, first step)");
+  List.iter
+    (fun p ->
+      let h = heatmap_of p in
+      Format.fprintf ppf "%s: inferred %s@."
+        (Topology.name p.Platform.topo)
+        (Topology.hierarchy_to_string (Heatmap.infer_hierarchy h)))
+    [ Platform.x86; Platform.armv8 ]
+
+let ids =
+  [
+    ("table1", "aspect coverage of NUMA-aware locks (Table 1)");
+    ("fig1", "ping-pong heatmaps of both platforms (Figure 1)");
+    ("table2", "cohort speedups vs paper values (Table 2)");
+    ("fig2", "LevelDB x86: HMCS depths + CLoF<4> (Figure 2)");
+    ("fig3", "basic locks per cohort at max contention (Figure 3)");
+    ("fig4", "LevelDB Armv8: CLoF<4> vs SOTA (Figure 4)");
+    ("fig9a", "all 4-level CLoF locks, x86 (Figure 9a)");
+    ("fig9b", "all 4-level CLoF locks, Armv8 (Figure 9b)");
+    ("fig9c", "all 3-level CLoF locks, x86 (Figure 9c)");
+    ("fig9d", "all 3-level CLoF locks, Armv8 (Figure 9d)");
+    ("fig10", "LC-best CLoF vs SOTA, LevelDB+Kyoto, both platforms (Figure 10)");
+    ("verify", "model-checked base/induction steps + A4 exhibits (4.2)");
+    ("verify_scaling", "checker effort vs depth (3.3/4.2.3)");
+    ("fairness", "per-thread fairness, CLoF vs HMCS (5.2.3)");
+    ("ablate_h", "keep_local threshold sweep (ablation)");
+    ("ablate_levels", "hierarchy depth sweep (ablation)");
+    ("cohorts", "classic lock-cohorting compositions (2.3)");
+    ("locality", "cache-line transfer distances per lock (keep_local observed)");
+    ("fastpath", "TAS fast-path extension ablation (paper 6)");
+    ("discover", "automated hierarchy inference (Figure 5)");
+  ]
+
+let run ppf = function
+  | "table1" -> table1 ppf (); true
+  | "fig1" -> fig1 ppf (); true
+  | "table2" -> table2 ppf (); true
+  | "fig2" -> fig2 ppf (); true
+  | "fig3" -> fig3 ppf (); true
+  | "fig4" -> fig4 ppf (); true
+  | "fig9a" -> fig9 ppf Platform.x86 4 "a"; true
+  | "fig9b" -> fig9 ppf Platform.armv8 4 "b"; true
+  | "fig9c" -> fig9 ppf Platform.x86 3 "c"; true
+  | "fig9d" -> fig9 ppf Platform.armv8 3 "d"; true
+  | "fig10" -> fig10 ppf (); true
+  | "verify" -> verify ppf (); true
+  | "verify_scaling" -> verify_scaling ppf (); true
+  | "fairness" -> fairness ppf (); true
+  | "ablate_h" -> ablate_h ppf (); true
+  | "ablate_levels" -> ablate_levels ppf (); true
+  | "cohorts" -> cohorts ppf (); true
+  | "locality" -> locality ppf (); true
+  | "fastpath" -> fastpath ppf (); true
+  | "discover" -> discover ppf (); true
+  | _ -> false
+
+let run_all ppf =
+  List.iter (fun (id, _) -> ignore (run ppf id)) ids

@@ -1,0 +1,78 @@
+let table ~header ~rows =
+  let buf = Buffer.create 1024 in
+  let label_width =
+    List.fold_left
+      (fun w (l, _) -> max w (String.length l))
+      (match header with h :: _ -> String.length h | [] -> 0)
+      rows
+    + 2
+  in
+  (match header with
+  | [] -> ()
+  | h :: cols ->
+      Buffer.add_string buf (Printf.sprintf "%-*s" label_width h);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%9s" c)) cols;
+      Buffer.add_char buf '\n');
+  List.iter
+    (fun (label, cells) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s" label_width label);
+      List.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf "%9.3f" v))
+        cells;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let shades = " .:-=+*#%@"
+
+let heatmap f ~n =
+  let stride = max 1 ((n + 63) / 64) in
+  let cells = (n + stride - 1) / stride in
+  let value i j =
+    (* average the block so sampling does not miss thin diagonals *)
+    let acc = ref 0.0 and cnt = ref 0 in
+    for a = i * stride to min (n - 1) (((i + 1) * stride) - 1) do
+      for b = j * stride to min (n - 1) (((j + 1) * stride) - 1) do
+        acc := !acc +. f a b;
+        incr cnt
+      done
+    done;
+    if !cnt = 0 then 0.0 else !acc /. float_of_int !cnt
+  in
+  let m = Array.init cells (fun i -> Array.init cells (fun j -> value i j)) in
+  let vmax =
+    Array.fold_left
+      (fun acc row -> Array.fold_left max acc row)
+      epsilon_float m
+  in
+  let buf = Buffer.create (cells * (cells + 1)) in
+  for j = cells - 1 downto 0 do
+    for i = 0 to cells - 1 do
+      let x = m.(i).(j) /. vmax in
+      let idx =
+        min
+          (String.length shades - 1)
+          (int_of_float (x *. float_of_int (String.length shades - 1)))
+      in
+      Buffer.add_char buf shades.[idx]
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let csv ~header ~rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, cells) ->
+      Buffer.add_string buf label;
+      List.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf ",%g" v))
+        cells;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let section title =
+  Printf.sprintf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,15 @@
+(** Plain-text rendering of benchmark results: aligned series tables,
+    ASCII heatmaps, and CSV emission. *)
+
+val table :
+  header:string list -> rows:(string * float list) list -> string
+(** First column = row label; numeric cells printed with 3 decimals. *)
+
+val heatmap : (int -> int -> float) -> n:int -> string
+(** ASCII intensity map of an [n x n] matrix, darker character = higher
+    value, sampled to at most 64 columns for readability. *)
+
+val csv : header:string list -> rows:(string * float list) list -> string
+
+val section : string -> string
+(** Underlined section banner. *)

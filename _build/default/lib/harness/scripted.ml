@@ -1,0 +1,73 @@
+open Clof_topology
+module M = Clof_sim.Sim_mem
+module R = Clof_locks.Registry.Make (M)
+module G = Clof_core.Generator.Make (M)
+module Hmcs = Clof_baselines.Hmcs.Make (M)
+module W = Clof_workloads.Workload
+module RT = Clof_core.Runtime
+module Sel = Clof_core.Selection
+
+type t = {
+  platform : Platform.t;
+  depth : int;
+  threadcounts : int list;
+  series : Sel.series list;
+  hmcs : Sel.series;
+}
+
+let thread_grid p =
+  match p.Platform.arch with
+  | Platform.X86 -> [ 1; 4; 8; 16; 24; 32; 48; 64; 95 ]
+  | Platform.Armv8 -> [ 1; 4; 8; 16; 24; 32; 48; 64; 96; 127 ]
+
+let ctr_for p = p.Platform.arch = Platform.X86
+
+let sweep_spec ~platform ~threadcounts ~params spec =
+  List.map
+    (fun n ->
+      let r = W.run ~platform ~nthreads:n ~spec params in
+      (n, r.W.throughput))
+    threadcounts
+
+let run ?(params = W.leveldb) ?threadcounts ?h ~platform ~depth () =
+  let threadcounts =
+    match threadcounts with Some t -> t | None -> thread_grid platform
+  in
+  let hierarchy = Platform.hierarchy_of_depth platform depth in
+  let basics = R.basics ~ctr:(ctr_for platform) in
+  let series =
+    List.map
+      (fun packed ->
+        let spec = RT.of_clof ?h ~hierarchy packed in
+        {
+          Sel.lock = spec.RT.s_name;
+          points = sweep_spec ~platform ~threadcounts ~params spec;
+        })
+      (G.generate ~basics ~depth)
+  in
+  let hmcs =
+    let spec = Hmcs.spec ?h ~hierarchy () in
+    {
+      Sel.lock = spec.RT.s_name;
+      points = sweep_spec ~platform ~threadcounts ~params spec;
+    }
+  in
+  { platform; depth; threadcounts; series; hmcs }
+
+let pick f t =
+  match f t.series with
+  | Some s -> s
+  | None -> invalid_arg "Scripted: empty series"
+
+let hc_best t = pick (Sel.best Sel.High_contention) t
+let lc_best t = pick (Sel.best Sel.Low_contention) t
+let worst t = pick (Sel.worst Sel.High_contention) t
+
+let spec_of_name ~platform ~depth ?h name =
+  let basics = R.basics ~ctr:(ctr_for platform) in
+  match G.of_name ~basics name with
+  | Some packed ->
+      RT.of_clof ?h
+        ~hierarchy:(Platform.hierarchy_of_depth platform depth)
+        packed
+  | None -> invalid_arg ("Scripted.spec_of_name: " ^ name)

@@ -1,0 +1,45 @@
+(** The scripted benchmark of Section 4.3: exhaustively generate all
+    basic-lock combinations for a hierarchy depth, benchmark each across
+    contention levels, and rank them under the HC/LC selection
+    policies. *)
+
+type t = {
+  platform : Clof_topology.Platform.t;
+  depth : int;
+  threadcounts : int list;
+  series : Clof_core.Selection.series list;  (** all N^M compositions *)
+  hmcs : Clof_core.Selection.series;  (** equal-hierarchy baseline *)
+}
+
+val thread_grid : Clof_topology.Platform.t -> int list
+(** The paper's contention levels: up to 95 threads on x86, 127 on
+    Armv8. *)
+
+val ctr_for : Clof_topology.Platform.t -> bool
+(** Hemlock CTR on x86, off on Armv8 (Section 3.2). *)
+
+val run :
+  ?params:Clof_workloads.Workload.params ->
+  ?threadcounts:int list ->
+  ?h:int ->
+  platform:Clof_topology.Platform.t ->
+  depth:int ->
+  unit ->
+  t
+(** Benchmark all compositions (LevelDB parameters by default, #runs=1
+    and a short duration, as the paper's scripted benchmark does). *)
+
+val hc_best : t -> Clof_core.Selection.series
+val lc_best : t -> Clof_core.Selection.series
+val worst : t -> Clof_core.Selection.series
+
+val spec_of_name :
+  platform:Clof_topology.Platform.t ->
+  depth:int ->
+  ?h:int ->
+  string ->
+  Clof_core.Runtime.spec
+(** Rebuild a runnable lock from a composition name found by the
+    scripted benchmark (used to rerun winners in the full evaluation,
+    Section 5.3).
+    @raise Invalid_argument on an unknown name. *)

@@ -1,0 +1,1 @@
+lib/locks/backoff.ml: Clof_atomics

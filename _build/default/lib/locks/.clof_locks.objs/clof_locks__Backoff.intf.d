@@ -1,0 +1,1 @@
+lib/locks/backoff.mli: Clof_atomics Lock_intf

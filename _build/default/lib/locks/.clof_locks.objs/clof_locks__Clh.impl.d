@@ -1,0 +1,1 @@
+lib/locks/clh.ml: Clof_atomics

@@ -1,0 +1,1 @@
+lib/locks/clh.mli: Clof_atomics Lock_intf

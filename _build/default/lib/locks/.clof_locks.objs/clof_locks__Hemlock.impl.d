@@ -1,0 +1,1 @@
+lib/locks/hemlock.ml: Clof_atomics

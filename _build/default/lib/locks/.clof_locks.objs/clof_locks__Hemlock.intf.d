@@ -1,0 +1,1 @@
+lib/locks/hemlock.mli: Clof_atomics Lock_intf

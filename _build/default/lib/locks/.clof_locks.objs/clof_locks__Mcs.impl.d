@@ -1,0 +1,1 @@
+lib/locks/mcs.ml: Clof_atomics

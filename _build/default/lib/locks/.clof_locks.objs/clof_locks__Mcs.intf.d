@@ -1,0 +1,1 @@
+lib/locks/mcs.mli: Clof_atomics Lock_intf

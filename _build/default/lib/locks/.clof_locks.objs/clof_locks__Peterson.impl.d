@@ -1,0 +1,1 @@
+lib/locks/peterson.ml: Array Clof_atomics

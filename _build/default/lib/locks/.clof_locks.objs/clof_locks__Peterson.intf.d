@@ -1,0 +1,1 @@
+lib/locks/peterson.mli: Clof_atomics Lock_intf

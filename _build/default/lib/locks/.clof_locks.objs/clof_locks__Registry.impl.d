@@ -1,0 +1,1 @@
+lib/locks/registry.ml: Backoff Clh Clof_atomics Hemlock List Lock_intf Mcs Tas Ticket Ttas

@@ -1,0 +1,1 @@
+lib/locks/registry.mli: Clof_atomics Lock_intf

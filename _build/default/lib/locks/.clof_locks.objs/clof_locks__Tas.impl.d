@@ -1,0 +1,1 @@
+lib/locks/tas.ml: Clof_atomics

@@ -1,0 +1,1 @@
+lib/locks/tas.mli: Clof_atomics Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/ticket.ml: Clof_atomics

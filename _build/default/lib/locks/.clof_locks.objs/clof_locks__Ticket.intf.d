@@ -1,0 +1,1 @@
+lib/locks/ticket.mli: Clof_atomics Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/ttas.ml: Clof_atomics

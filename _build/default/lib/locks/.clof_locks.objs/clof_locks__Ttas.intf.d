@@ -1,0 +1,1 @@
+lib/locks/ttas.mli: Clof_atomics Lock_intf

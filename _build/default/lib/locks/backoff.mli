@@ -1,0 +1,6 @@
+(** Test-and-set with exponential backoff (Agarwal & Cherian; the BO of
+    lock cohorting's C-BO-MCS). Unfair, but cheap handover at moderate
+    contention because failed attempts retreat. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) :
+  Lock_intf.S with type ctx = unit and type anchor = M.anchor

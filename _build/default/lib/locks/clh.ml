@@ -1,0 +1,42 @@
+module Make (M : Clof_atomics.Memory_intf.S) = struct
+  type node = { succ_must_wait : bool M.aref }
+
+  type t = { tail : node M.aref }
+
+  (* [mine] is the node we enqueue with; after release it is donated to
+     the successor (still spinning on it), and we adopt [pred]'s node.
+     This node recycling is why the context invariant matters: reusing
+     the context in a second concurrent acquisition would recycle a node
+     another thread still spins on. *)
+  type ctx = { mutable mine : node; mutable pred : node }
+
+  let name = "clh"
+  let fair = true
+  let needs_ctx = true
+
+  let mk_node ?node v = { succ_must_wait = M.make ?node ~name:"clh.wait" v }
+
+  let create ?node () =
+    { tail = M.make ?node ~name:"clh.tail" (mk_node ?node false) }
+
+  type anchor = M.anchor
+
+  let anchor t = M.anchor t.tail
+
+  let ctx_create ?node _t =
+    let n = mk_node ?node false in
+    { mine = n; pred = n }
+
+  let acquire t ctx =
+    M.store ~o:Relaxed ctx.mine.succ_must_wait true;
+    let prev = M.exchange t.tail ctx.mine in
+    ctx.pred <- prev;
+    ignore (M.await prev.succ_must_wait (fun w -> not w))
+
+  let release t ctx =
+    ignore t;
+    M.store ~o:Release ctx.mine.succ_must_wait false;
+    ctx.mine <- ctx.pred
+
+  let has_waiters = Some (fun t ctx -> not (M.load ~o:Relaxed t.tail == ctx.mine))
+end

@@ -1,0 +1,7 @@
+(** CLH lock (Craig, Landin & Hagersten; Section 2.1): fair, local
+    spinning on an {e implicit} queue — each thread spins on its
+    predecessor's node and, on release, adopts the predecessor's node
+    for its next acquisition. Used as the seL4 big kernel lock. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) :
+  Lock_intf.S with type anchor = M.anchor

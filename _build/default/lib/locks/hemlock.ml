@@ -1,0 +1,47 @@
+module Make
+    (M : Clof_atomics.Memory_intf.S)
+    (Cfg : sig
+       val ctr : bool
+       val label : string
+     end) =
+struct
+  (* The context is a single grant word: 0 = empty, otherwise the id of
+     the lock being handed over through it. *)
+  type ctx = { grant : int M.aref }
+  type t = { tail : ctx M.aref; nil : ctx; id : int }
+
+  let name = Cfg.label
+  let fair = true
+  let needs_ctx = true
+  let next_id = ref 1
+
+  let mk_ctx ?node () = { grant = M.make ?node ~name:"hem.grant" 0 }
+
+  let create ?node () =
+    let id = !next_id in
+    incr next_id;
+    let nil = mk_ctx ?node () in
+    { tail = M.make ?node ~name:"hem.tail" nil; nil; id }
+
+  type anchor = M.anchor
+
+  let anchor t = M.anchor t.tail
+  let ctx_create ?node _t = mk_ctx ?node ()
+
+  let acquire t c =
+    let prev = M.exchange t.tail c in
+    if prev != t.nil then begin
+      ignore (M.await ~rmw:Cfg.ctr prev.grant (fun g -> g = t.id));
+      (* acknowledge so the releaser may reuse its grant word *)
+      M.store ~o:Release ~rmw:Cfg.ctr prev.grant 0
+    end
+
+  let release t c =
+    if M.cas t.tail ~expected:c ~desired:t.nil then ()
+    else begin
+      M.store ~o:Release ~rmw:Cfg.ctr c.grant t.id;
+      ignore (M.await c.grant (fun g -> g = 0))
+    end
+
+  let has_waiters = Some (fun t c -> not (M.load ~o:Relaxed t.tail == c))
+end

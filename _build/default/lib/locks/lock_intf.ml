@@ -1,0 +1,65 @@
+(** Interface of a NUMA-oblivious spinlock — the paper's {e basic lock}
+    (BasicLocks in the grammar of Figure 6).
+
+    The [ctx] type realizes the paper's {e context abstraction}
+    (Section 4.1.3): locks that spin locally (MCS, CLH, Hemlock) carry
+    their queue node in a context that must never be used for two
+    concurrent acquisitions (the {e context invariant}); global-spinning
+    locks (Ticketlock, TTAS) have a trivial context. All locks here are
+    {e thread-oblivious}: a lock acquired with context [c] may be
+    released by a different thread holding [c], which CLoF's
+    lock-passing requires. *)
+
+module type S = sig
+  type t
+  type ctx
+
+  type anchor
+  (** The memory backend's line handle (see
+      {!Clof_atomics.Memory_intf.S.anchor}). *)
+
+  val name : string
+  (** Abbreviation used in composition names, e.g. ["tkt"]. *)
+
+  val fair : bool
+  (** Starvation-free FIFO admission. CLoF only composes fair locks
+      (Theorem 4.1); unfair ones are kept for the fairness
+      counter-example. *)
+
+  val needs_ctx : bool
+  (** CtxLockType vs NoCtxLockType in the paper's grammar —
+      informational; the interface always passes a context. *)
+
+  val create : ?node:int -> unit -> t
+  (** [node] is a NUMA placement hint for the lock's cache lines. *)
+
+  val anchor : t -> anchor
+  (** The lock's primary cache line. CLoF allocates the per-cohort
+      metadata that "extends the low lock" (Section 4.1.1) on this
+      line, as a real implementation embeds it in the lock struct. *)
+
+  val ctx_create : ?node:int -> t -> ctx
+  (** A fresh context for this lock. One context must not be used by
+      two concurrent acquire/release pairs. *)
+
+  val acquire : t -> ctx -> unit
+  val release : t -> ctx -> unit
+
+  val has_waiters : (t -> ctx -> bool) option
+  (** Algorithm-specific cheap detection of waiting threads, callable
+      only by the current owner ([ctx] is the owner's context). When
+      [None], CLoF maintains its own waiter counter (Section 4.1.2). *)
+end
+
+(** A basic lock packed as a first-class module, for the runtime
+    generator. The parameter pins the memory backend's anchor type so
+    the generator can colocate composition metadata with the lock. *)
+type 'a packed = (module S with type anchor = 'a)
+
+let name (type a) (p : a packed) =
+  let (module B) = p in
+  B.name
+
+let is_fair (type a) (p : a packed) =
+  let (module B) = p in
+  B.fair

@@ -1,0 +1,55 @@
+module Make (M : Clof_atomics.Memory_intf.S) = struct
+  type node = { locked : bool M.aref; next : node option M.aref }
+
+  (* [tail] holds the last queued node, or the sentinel when free. CAS
+     compares node records physically, so nodes are stable identities
+     and [next] (never CASed) can use an option. *)
+  type t = { tail : node M.aref; nil : node }
+  type ctx = { node : node }
+
+  let name = "mcs"
+  let fair = true
+  let needs_ctx = true
+
+  let mk_node ?node () =
+    let locked = M.make ?node ~name:"mcs.locked" false in
+    { locked; next = M.colocated locked ~name:"mcs.next" None }
+
+  let create ?node () =
+    let nil = mk_node ?node () in
+    { tail = M.make ?node ~name:"mcs.tail" nil; nil }
+
+  type anchor = M.anchor
+
+  let anchor t = M.anchor t.tail
+  let ctx_create ?node _t = { node = mk_node ?node () }
+
+  let acquire t ctx =
+    let n = ctx.node in
+    M.store ~o:Relaxed n.locked true;
+    M.store ~o:Relaxed n.next None;
+    let prev = M.exchange t.tail n in
+    if prev != t.nil then begin
+      M.store ~o:Release prev.next (Some n);
+      ignore (M.await n.locked (fun l -> not l))
+    end
+
+  let release t ctx =
+    let n = ctx.node in
+    match M.load ~o:Acquire n.next with
+    | Some succ -> M.store ~o:Release succ.locked false
+    | None ->
+        if M.cas t.tail ~expected:n ~desired:t.nil then ()
+        else begin
+          (* a successor is between the exchange and linking itself *)
+          let succ =
+            match M.await n.next (fun s -> s <> None) with
+            | Some s -> s
+            | None -> assert false
+          in
+          M.store ~o:Release succ.locked false
+        end
+
+  let has_waiters =
+    Some (fun _t ctx -> M.load ~o:Relaxed ctx.node.next <> None)
+end

@@ -1,0 +1,8 @@
+(** MCS lock (Mellor-Crummey & Scott; Section 2.1): fair, local
+    spinning, explicit queue. Each thread appends its context node to a
+    global tail and spins on its own node's flag; the releasing owner
+    hands over by clearing the successor's flag. The base of Linux's
+    qspinlock and of HMCS. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) :
+  Lock_intf.S with type anchor = M.anchor

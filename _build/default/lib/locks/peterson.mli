@@ -1,0 +1,23 @@
+(** Peterson's 2-thread mutual-exclusion algorithm, with and without
+    the store-load fence.
+
+    This is the repo's aspect-A4 exhibit: Peterson is correct under
+    sequential consistency but requires a full barrier between the
+    flag/turn stores and the read of the other thread's flag; without
+    it, store buffering (TSO and weaker) lets both threads enter the
+    critical section. The model checker's TSO mode finds the violation
+    in the unfenced variant and proves the fenced one (see
+    [lib/verify]). Contexts are the thread slots 0 and 1; [ctx_create]
+    hands them out in order.
+
+    Not registered as a CLoF basic lock: it only supports two
+    threads. *)
+
+module Make
+    (M : Clof_atomics.Memory_intf.S)
+    (Cfg : sig
+       val fenced : bool
+     end) : Lock_intf.S with type anchor = M.anchor
+
+exception Too_many_contexts
+(** Raised by [ctx_create] on the third context. *)

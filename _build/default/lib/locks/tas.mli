@@ -1,0 +1,6 @@
+(** Test-and-set lock: unfair, the simplest correct spinlock. Kept as a
+    baseline and as the unfair lock of the fairness counter-example
+    (Section 4.2.3: composing an unfair lock loses CLoF fairness). *)
+
+module Make (M : Clof_atomics.Memory_intf.S) :
+  Lock_intf.S with type ctx = unit and type anchor = M.anchor

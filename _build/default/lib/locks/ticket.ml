@@ -1,0 +1,34 @@
+module Make (M : Clof_atomics.Memory_intf.S) = struct
+  type t = { next : int M.aref; grant : int M.aref }
+  type ctx = unit
+
+  let name = "tkt"
+  let fair = true
+  let needs_ctx = false
+
+  (* Both fields live on one cache line, as in a real 64-bit ticket
+     lock: every arriving fetch_add invalidates the spinners' copies,
+     which is exactly why the lock degrades under contention. *)
+  let create ?node () =
+    let next = M.make ?node ~name:"tkt.next" 0 in
+    { next; grant = M.colocated next ~name:"tkt.grant" 0 }
+
+  type anchor = M.anchor
+
+  let anchor t = M.anchor t.next
+  let ctx_create ?node:_ _t = ()
+
+  let acquire t () =
+    let my = M.fetch_add t.next 1 in
+    ignore (M.await t.grant (fun g -> g = my))
+
+  let release t () =
+    (* only the owner writes [grant], so the read needs no order *)
+    let g = M.load ~o:Relaxed t.grant in
+    M.store ~o:Release t.grant (g + 1)
+
+  let has_waiters =
+    Some
+      (fun t () ->
+        M.load ~o:Relaxed t.next - M.load ~o:Relaxed t.grant > 1)
+end

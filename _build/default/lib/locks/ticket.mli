@@ -1,0 +1,9 @@
+(** Ticketlock (Section 2.1): fair, global spinning, no context.
+
+    A thread atomically takes the next ticket and waits for [grant] to
+    reach it; the owner increments [grant] to release. Simple and fast
+    at low contention, but all waiters spin on the single [grant] line,
+    which pressures the memory subsystem as contention grows. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) :
+  Lock_intf.S with type ctx = unit and type anchor = M.anchor

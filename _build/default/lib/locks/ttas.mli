@@ -1,0 +1,6 @@
+(** Test-and-test-and-set lock (Section 4.2.1's example of an unfair
+    lock): spin reading until the flag looks free, then attempt the
+    atomic swap. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) :
+  Lock_intf.S with type ctx = unit and type anchor = M.anchor

@@ -1,0 +1,1 @@
+lib/sim/arch.ml: Clof_topology Level List Platform

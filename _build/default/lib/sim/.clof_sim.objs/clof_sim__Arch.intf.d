@@ -1,0 +1,1 @@
+lib/sim/arch.mli: Clof_topology

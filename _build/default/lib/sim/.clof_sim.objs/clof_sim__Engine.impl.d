@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Arch Array Clof_atomics Clof_topology Cpuset Effect Fun Hashtbl Level Line List Platform Pqueue Printf Topology

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Clof_atomics Clof_topology Line

@@ -1,0 +1,1 @@
+lib/sim/line.ml: Cpuset

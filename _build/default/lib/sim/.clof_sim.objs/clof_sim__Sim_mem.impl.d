@@ -1,0 +1,1 @@
+lib/sim/sim_mem.ml: Clof_atomics Engine Line

@@ -1,0 +1,1 @@
+lib/sim/sim_mem.mli: Clof_atomics Line

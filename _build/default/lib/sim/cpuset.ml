@@ -1,0 +1,48 @@
+type t = { words : int array; ncpus : int }
+
+let bits_per_word = 62 (* stay clear of the tag bit on 63-bit ints *)
+
+let create ncpus =
+  if ncpus <= 0 then invalid_arg "Cpuset.create";
+  let nwords = ((ncpus - 1) / bits_per_word) + 1 in
+  { words = Array.make nwords 0; ncpus }
+
+let capacity t = t.ncpus
+
+let check t cpu =
+  if cpu < 0 || cpu >= t.ncpus then invalid_arg "Cpuset: cpu out of range"
+
+let mem t cpu =
+  check t cpu;
+  t.words.(cpu / bits_per_word) land (1 lsl (cpu mod bits_per_word)) <> 0
+
+let add t cpu =
+  check t cpu;
+  let w = cpu / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (cpu mod bits_per_word))
+
+let remove t cpu =
+  check t cpu;
+  let w = cpu / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (cpu mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  fun w -> go 0 w
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let count_except t cpu = count t - if mem t cpu then 1 else 0
+
+let iter f t =
+  for cpu = 0 to t.ncpus - 1 do
+    if mem t cpu then f cpu
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for cpu = t.ncpus - 1 downto 0 do
+    if mem t cpu then acc := cpu :: !acc
+  done;
+  !acc

@@ -1,0 +1,380 @@
+open Clof_topology
+
+type access =
+  | Load
+  | Store of { rmw : bool; order : Clof_atomics.Memory_order.t }
+  | Rmw of { wrote : bool }
+
+type outcome = {
+  end_time : int;
+  hung : bool;
+  aborted : bool;
+  blocked : (int * string) list;
+  transfers : (Level.proximity * int) list;
+}
+
+type _ Effect.t +=
+  | E_access : Line.t * access -> unit Effect.t
+  | E_await : Line.t * bool * (unit -> bool) -> unit Effect.t
+  | E_fence : unit Effect.t
+  | E_pause : unit Effect.t
+  | E_work : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_running : bool Effect.t
+  | E_tid : int Effect.t
+  | E_cpu : int Effect.t
+
+type thread = { t_id : int; t_cpu : int; mutable time : int }
+
+type watcher = {
+  w_thread : thread;
+  w_line : Line.t;
+  w_pred : unit -> bool;
+  w_rmw : bool;
+  w_k : (unit, unit) Effect.Deep.continuation;
+}
+
+type cpu_state = { mutable busy_until : int; mutable last : int }
+
+type state = {
+  topo : Topology.t;
+  costs : Arch.t;
+  duration : int;
+  q : (unit -> unit) Pqueue.t;
+  cpus : cpu_state array;
+  watchers : (int, watcher list ref) Hashtbl.t;
+  mutable live : int;
+  mutable max_time : int;
+  hist : int array; (* line transfers by proximity rank *)
+}
+
+(* Charge [cost] ns to [th], serializing green threads that share a CPU
+   and charging a context switch when the CPU changes thread. *)
+let advance st th cost =
+  let c = st.cpus.(th.t_cpu) in
+  let start = max th.time c.busy_until in
+  let start =
+    if c.last <> th.t_id && c.last <> -1 then start + st.costs.ctx_switch
+    else start
+  in
+  th.time <- start + cost;
+  c.busy_until <- th.time;
+  c.last <- th.t_id;
+  if th.time > st.max_time then st.max_time <- th.time
+
+(* Like [advance] but for an access that misses in the local cache:
+   coherence transactions on one line are serviced one at a time, so the
+   access also queues behind the line's service window. *)
+let advance_on_line st th (line : Line.t) ~miss cost =
+  if not miss then advance st th cost
+  else begin
+    let c = st.cpus.(th.t_cpu) in
+    let start = max th.time c.busy_until in
+    let start =
+      if c.last <> th.t_id && c.last <> -1 then start + st.costs.ctx_switch
+      else start
+    in
+    let start = max start line.busy_until in
+    th.time <- start + cost;
+    c.busy_until <- th.time;
+    c.last <- th.t_id;
+    line.busy_until <- th.time;
+    if th.time > st.max_time then st.max_time <- th.time
+  end
+
+let all_proximities =
+  [
+    Level.Same_cpu;
+    Level.Same_core;
+    Level.Same_cache;
+    Level.Same_numa;
+    Level.Same_package;
+    Level.Same_system;
+  ]
+
+let rank_of p =
+  let rec go i = function
+    | [] -> assert false
+    | x :: rest -> if x = p then i else go (i + 1) rest
+  in
+  go 0 all_proximities
+
+let count_transfer st p = st.hist.(rank_of p) <- st.hist.(rank_of p) + 1
+
+let proximity_to st line th =
+  if line.Line.owner < 0 then Level.Same_system
+  else Topology.proximity st.topo line.Line.owner th.t_cpu
+
+(* Cost of fetching a line for reading; registers the reader as a
+   sharer. *)
+let read_cost st th (line : Line.t) =
+  if line.owner = th.t_cpu || Cpuset.mem line.sharers th.t_cpu then
+    (st.costs.l1, false)
+  else begin
+    let d = proximity_to st line th in
+    count_transfer st d;
+    Cpuset.add line.sharers th.t_cpu;
+    (st.costs.transfer d, true)
+  end
+
+(* Invalidating remote shared copies costs a coherence round to the
+   farthest sharer (requests travel in parallel, the ack round does not
+   overlap the store's retirement). *)
+let invalidate_cost st th (line : Line.t) =
+  let worst = ref 0 in
+  Cpuset.iter
+    (fun cpu ->
+      if cpu <> th.t_cpu then begin
+        let t =
+          st.costs.transfer (Topology.proximity st.topo cpu th.t_cpu)
+        in
+        if t > !worst then worst := t
+      end)
+    line.sharers;
+  !worst / 2
+
+(* A write: the store buffer hides the line-transfer latency from the
+   writing thread (it retires after the invalidation round), but the
+   transfer still occupies the line's service window, which is where the
+   handover latency lands on the woken waiter. An RMW cannot be hidden:
+   the thread blocks for the full transfer. Returns
+   [(thread_cost, occupancy, miss)]. *)
+let write_cost st th (line : Line.t) ~is_rmw ~order =
+  let me = th.t_cpu in
+  let others = Cpuset.count_except line.sharers me in
+  let local = line.owner = me && others = 0 in
+  let transfer =
+    if line.owner = me then 0
+    else begin
+      let d = proximity_to st line th in
+      count_transfer st d;
+      st.costs.transfer d
+    end
+  in
+  let upgrade =
+    if (not is_rmw) && others > 0 then st.costs.store_upgrade else 0
+  in
+  let inval = if others > 0 then invalidate_cost st th line else 0 in
+  let llsc =
+    if is_rmw then
+      (line.rmw_watchers * st.costs.llsc_rmw_extra)
+      + if line.rmw_watchers > 0 then st.costs.llsc_cas_storm else 0
+    else 0
+  in
+  let barrier =
+    match order with
+    | Clof_atomics.Memory_order.Seq_cst -> st.costs.sc_fence
+    | Relaxed | Acquire | Release -> 0
+  in
+  line.owner <- me;
+  Cpuset.clear line.sharers;
+  Cpuset.add line.sharers me;
+  line.writes <- line.writes + 1;
+  let thread_cost =
+    st.costs.l1 + upgrade + inval + llsc + barrier
+    + (if is_rmw then transfer else 0)
+  in
+  (thread_cost, (if is_rmw then 0 else transfer), not local)
+
+let find_watchers st (line : Line.t) =
+  match Hashtbl.find_opt st.watchers line.id with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add st.watchers line.id r;
+      r
+
+(* After [writer] wrote to [line]: every watcher lost its copy and
+   refetches the line, one at a time through the line's service window —
+   k spinners cause k serialized refetches per write, the physics behind
+   the collapse of global-spinning locks. Watchers whose predicate now
+   holds resume at their refetch slot. *)
+let wake_watchers st (line : Line.t) writer =
+  match Hashtbl.find_opt st.watchers line.id with
+  | None -> ()
+  | Some lst ->
+      let keep w =
+        let d = Topology.proximity st.topo writer.t_cpu w.w_thread.t_cpu in
+        count_transfer st d;
+        let slot =
+          max writer.time line.busy_until + st.costs.transfer d
+        in
+        line.busy_until <- slot;
+        if not w.w_rmw then Cpuset.add line.sharers w.w_thread.t_cpu;
+        if w.w_pred () then begin
+          if w.w_rmw then line.rmw_watchers <- line.rmw_watchers - 1;
+          if slot > w.w_thread.time then w.w_thread.time <- slot;
+          if w.w_thread.time > st.max_time then
+            st.max_time <- w.w_thread.time;
+          Pqueue.add st.q w.w_thread.time (fun () ->
+              Effect.Deep.continue w.w_k ());
+          false
+        end
+        else true
+      in
+      lst := List.filter keep !lst
+
+let handle_access st th line acc =
+  let cost, occupancy, miss =
+    match acc with
+    | Load ->
+        let cost, miss = read_cost st th line in
+        (cost, 0, miss)
+    | Store { rmw; order } -> write_cost st th line ~is_rmw:rmw ~order
+    | Rmw { wrote } ->
+        if wrote then
+          write_cost st th line ~is_rmw:true
+            ~order:Clof_atomics.Memory_order.Seq_cst
+        else
+          let cost, miss = read_cost st th line in
+          (cost + st.costs.sc_fence, 0, miss)
+  in
+  advance_on_line st th line ~miss cost;
+  if occupancy > 0 then
+    line.busy_until <- max line.busy_until th.time + occupancy;
+  match acc with
+  | Store _ | Rmw { wrote = true } -> wake_watchers st line th
+  | Load | Rmw { wrote = false } -> ()
+
+let instance : state option ref = ref None
+
+let spawn st th body =
+  let resume_later k = Pqueue.add st.q th.time (fun () -> k ()) in
+  Effect.Deep.match_with body th.t_id
+    {
+      retc = (fun () -> st.live <- st.live - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_access (line, acc) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  handle_access st th line acc;
+                  resume_later (fun () -> Effect.Deep.continue k ()))
+          | E_await (line, rmw, pred) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let cost, miss = read_cost st th line in
+                  advance_on_line st th line ~miss cost;
+                  if pred () then
+                    resume_later (fun () -> Effect.Deep.continue k ())
+                  else begin
+                    if rmw then line.rmw_watchers <- line.rmw_watchers + 1;
+                    let r = find_watchers st line in
+                    r :=
+                      {
+                        w_thread = th;
+                        w_line = line;
+                        w_pred = pred;
+                        w_rmw = rmw;
+                        w_k = k;
+                      }
+                      :: !r
+                  end)
+          | E_fence ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  advance st th st.costs.sc_fence;
+                  resume_later (fun () -> Effect.Deep.continue k ()))
+          | E_pause ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  advance st th st.costs.pause;
+                  resume_later (fun () -> Effect.Deep.continue k ()))
+          | E_work ns ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  advance st th (max 0 ns);
+                  resume_later (fun () -> Effect.Deep.continue k ()))
+          | E_now ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k th.time)
+          | E_running ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k (th.time < st.duration))
+          | E_tid ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k th.t_id)
+          | E_cpu ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k th.t_cpu)
+          | _ -> None);
+    }
+
+let run ?(duration = 1_000_000) ~platform ~threads () =
+  if !instance <> None then
+    invalid_arg "Engine.run: already inside a simulation";
+  let topo = platform.Platform.topo in
+  let st =
+    {
+      topo;
+      costs = Arch.of_arch platform.Platform.arch;
+      duration;
+      q = Pqueue.create ();
+      cpus =
+        Array.init (Topology.ncpus topo) (fun _ ->
+            { busy_until = 0; last = -1 });
+      watchers = Hashtbl.create 64;
+      live = List.length threads;
+      max_time = 0;
+      hist = Array.make (List.length all_proximities) 0;
+    }
+  in
+  instance := Some st;
+  let cleanup () = instance := None in
+  Fun.protect ~finally:cleanup (fun () ->
+      List.iteri
+        (fun i (cpu, body) ->
+          if cpu < 0 || cpu >= Topology.ncpus topo then
+            invalid_arg (Printf.sprintf "Engine.run: cpu %d out of range" cpu);
+          let th = { t_id = i; t_cpu = cpu; time = 0 } in
+          Pqueue.add st.q 0 (fun () -> spawn st th body))
+        threads;
+      (* Watchdog against livelocks in code under test: a correct
+         benchmark drains shortly after [duration]; abort well past it. *)
+      let cap =
+        if duration < max_int / 128 then duration * 64 else max_int
+      in
+      let aborted = ref false in
+      let rec drain () =
+        match Pqueue.pop_min st.q with
+        | Some (_, f) ->
+            if st.max_time > cap then aborted := true
+            else begin
+              f ();
+              drain ()
+            end
+        | None -> ()
+      in
+      drain ();
+      let blocked =
+        Hashtbl.fold
+          (fun _ lst acc ->
+            List.fold_left
+              (fun acc w -> (w.w_thread.t_id, w.w_line.Line.name) :: acc)
+              acc !lst)
+          st.watchers []
+      in
+      {
+        end_time = st.max_time;
+        hung = st.live > 0 && not !aborted;
+        aborted = !aborted;
+        blocked = List.sort compare blocked;
+        transfers =
+          List.mapi (fun i p -> (p, st.hist.(i))) all_proximities;
+      })
+
+let now () = Effect.perform E_now
+let running () = Effect.perform E_running
+let tid () = Effect.perform E_tid
+let cpu () = Effect.perform E_cpu
+let access line acc = Effect.perform (E_access (line, acc))
+let await_line line ~rmw pred = Effect.perform (E_await (line, rmw, pred))
+let fence () = Effect.perform E_fence
+let pause () = Effect.perform E_pause
+let work ns = Effect.perform (E_work ns)

@@ -1,0 +1,78 @@
+(** Discrete-event execution engine.
+
+    Benchmark threads are effects-based green threads pinned to CPUs of
+    a simulated {!Clof_topology.Platform.t}. Every atomic operation
+    performs an effect; the engine charges it a latency derived from the
+    cache-line state and the {!Arch.t} cost model, advances the thread's
+    virtual clock, and always resumes the runnable thread with the
+    smallest clock. Spin-waits block the thread until a write to the
+    watched line satisfies the predicate; the wake-up is charged the
+    line-transfer latency from the writer. Two threads pinned to the
+    same CPU timeshare it (per-CPU busy window + context-switch cost).
+
+    This module is the substitute for the paper's 96-thread x86 and
+    128-core Armv8 servers; see DESIGN.md Section 2. *)
+
+type access =
+  | Load
+  | Store of { rmw : bool; order : Clof_atomics.Memory_order.t }
+  | Rmw of { wrote : bool }
+
+type outcome = {
+  end_time : int;  (** largest virtual clock reached, ns *)
+  hung : bool;
+      (** true when threads remained blocked with no pending event — a
+          lost-wakeup or deadlock in the code under simulation *)
+  aborted : bool;
+      (** true when the run overshot 64x its duration and was cut off —
+          a livelock in the code under simulation *)
+  blocked : (int * string) list;
+      (** (tid, line name) of threads still blocked at the end *)
+  transfers : (Clof_topology.Level.proximity * int) list;
+      (** cache-line transfers by distance class — the direct evidence
+          of a lock's handover locality (innermost class first) *)
+}
+
+val run :
+  ?duration:int ->
+  platform:Clof_topology.Platform.t ->
+  threads:(int * (int -> unit)) list ->
+  unit ->
+  outcome
+(** [run ~platform ~threads ()] starts one green thread per [(cpu,
+    body)] pair at virtual time 0 and executes until all finish.
+    [duration] (default 1 ms) only controls {!running}; bodies are
+    expected to loop [while running () do ... done] and drain
+    naturally. Bodies receive their thread id.
+    @raise Invalid_argument on a CPU out of range, or when called from
+    inside a simulation. *)
+
+(** {2 Operations available inside thread bodies}
+
+    All of these perform effects and must be called from within a
+    {!run} thread. *)
+
+val now : unit -> int
+(** This thread's virtual clock, ns. *)
+
+val running : unit -> bool
+(** [now () < duration]. *)
+
+val tid : unit -> int
+
+val cpu : unit -> int
+
+val access : Line.t -> access -> unit
+(** Charge one memory access; wake watchers on writes. Used by
+    {!Sim_mem}. *)
+
+val await_line : Line.t -> rmw:bool -> (unit -> bool) -> unit
+(** Block until a write to the line makes the predicate true (checked
+    once immediately). Used by {!Sim_mem}. *)
+
+val fence : unit -> unit
+val pause : unit -> unit
+
+val work : int -> unit
+(** Charge [ns] of pure compute to this thread (critical-section body,
+    think time). *)

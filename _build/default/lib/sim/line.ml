@@ -1,0 +1,28 @@
+type t = {
+  id : int;
+  name : string;
+  home : int;
+  mutable owner : int;
+  mutable sharers : Cpuset.t;
+  mutable rmw_watchers : int;
+  mutable writes : int;
+  mutable busy_until : int;
+}
+
+let counter = ref 0
+
+let fresh ?(node = -1) ~name ~ncpus () =
+  let id = !counter in
+  incr counter;
+  {
+    id;
+    name;
+    home = node;
+    owner = -1;
+    sharers = Cpuset.create ncpus;
+    rmw_watchers = 0;
+    writes = 0;
+    busy_until = 0;
+  }
+
+let reset_ids () = counter := 0

@@ -1,0 +1,27 @@
+(** Cache-line coherence state tracked by the simulator.
+
+    One atomic location = one line (no false sharing is modelled). The
+    line records the CPU of the last writer ([owner]) and the CPUs
+    holding shared copies; access costs derive from these plus the
+    machine's {!Arch.t}. *)
+
+type t = {
+  id : int;
+  name : string;
+  home : int;  (** NUMA placement hint; [-1] = unspecified *)
+  mutable owner : int;  (** CPU of last writer; [-1] = still in memory *)
+  mutable sharers : Cpuset.t;
+  mutable rmw_watchers : int;
+      (** threads currently spinning on this line with RMW polls *)
+  mutable writes : int;  (** write counter, for stats and tests *)
+  mutable busy_until : int;
+      (** coherence-service window: misses and invalidations on one line
+          are serialized, which is what makes k threads spinning on one
+          location collapse — each release triggers k refetches that
+          queue behind each other *)
+}
+
+val fresh : ?node:int -> name:string -> ncpus:int -> unit -> t
+
+val reset_ids : unit -> unit
+(** Restart the global id counter (test isolation). *)

@@ -1,0 +1,64 @@
+type 'a entry = { prio : int; seq : int; v : 'a }
+
+type 'a t = {
+  mutable a : 'a entry option array;
+  mutable n : int;
+  mutable seq : int;
+}
+
+let create () = { a = Array.make 64 None; n = 0; seq = 0 }
+let is_empty q = q.n = 0
+let length q = q.n
+
+let less x y = x.prio < y.prio || (x.prio = y.prio && x.seq < y.seq)
+
+let get q i =
+  match q.a.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow q =
+  let a = Array.make (2 * Array.length q.a) None in
+  Array.blit q.a 0 a 0 q.n;
+  q.a <- a
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if less (get q i) (get q p) then begin
+      let tmp = q.a.(i) in
+      q.a.(i) <- q.a.(p);
+      q.a.(p) <- tmp;
+      sift_up q p
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.n && less (get q l) (get q !smallest) then smallest := l;
+  if r < q.n && less (get q r) (get q !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.a.(i) in
+    q.a.(i) <- q.a.(!smallest);
+    q.a.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q prio v =
+  if q.n = Array.length q.a then grow q;
+  q.a.(q.n) <- Some { prio; seq = q.seq; v };
+  q.seq <- q.seq + 1;
+  q.n <- q.n + 1;
+  sift_up q (q.n - 1)
+
+let pop_min q =
+  if q.n = 0 then None
+  else begin
+    let e = get q 0 in
+    q.n <- q.n - 1;
+    q.a.(0) <- q.a.(q.n);
+    q.a.(q.n) <- None;
+    if q.n > 0 then sift_down q 0;
+    Some (e.prio, e.v)
+  end

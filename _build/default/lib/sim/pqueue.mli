@@ -1,0 +1,15 @@
+(** Minimal binary min-heap keyed by [int] priority, FIFO among equal
+    priorities. Used as the simulator's event queue. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> int -> 'a -> unit
+(** [add q prio v] inserts [v] with priority [prio]. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Removes and returns the entry with the smallest priority; among
+    equal priorities, the one inserted first. *)

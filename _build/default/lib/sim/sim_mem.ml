@@ -1,0 +1,62 @@
+type 'a aref = { mutable v : 'a; l : Line.t }
+
+let max_cpus = 256
+
+let make ?node ?(name = "ref") v =
+  { v; l = Line.fresh ?node ~name ~ncpus:max_cpus () }
+
+let colocated other ?name:_ v = { v; l = other.l }
+
+type anchor = Line.t
+
+let anchor r = r.l
+let make_on l ?name:_ v = { v; l }
+
+let line r = r.l
+let peek r = r.v
+
+let load ?o:_ r =
+  Engine.access r.l Engine.Load;
+  r.v
+
+(* Value updates happen before the engine event so that watcher
+   predicates evaluated during wake-up observe the new value. *)
+let store ?(o = Clof_atomics.Memory_order.Seq_cst) ?(rmw = false) r v =
+  r.v <- v;
+  Engine.access r.l (Engine.Store { rmw; order = o })
+
+let cas r ~expected ~desired =
+  if r.v == expected then begin
+    r.v <- desired;
+    Engine.access r.l (Engine.Rmw { wrote = true });
+    true
+  end
+  else begin
+    Engine.access r.l (Engine.Rmw { wrote = false });
+    false
+  end
+
+let exchange r v =
+  let old = r.v in
+  r.v <- v;
+  Engine.access r.l (Engine.Rmw { wrote = true });
+  old
+
+let fetch_add r n =
+  let old = r.v in
+  r.v <- old + n;
+  Engine.access r.l (Engine.Rmw { wrote = true });
+  old
+
+let await ?(rmw = false) r pred =
+  (* The engine wakes us when the predicate held at wake time; re-check
+     on resumption in case a later write falsified it again. *)
+  let rec go () =
+    Engine.await_line r.l ~rmw (fun () -> pred r.v);
+    let v = r.v in
+    if pred v then v else go ()
+  in
+  go ()
+
+let fence () = Engine.fence ()
+let pause () = Engine.pause ()

@@ -1,0 +1,13 @@
+(** [MEMORY] over the NUMA machine simulator.
+
+    Locations may be created outside a simulation (building the lock),
+    but every operation must run inside an {!Engine.run} thread. *)
+
+include Clof_atomics.Memory_intf.S with type anchor = Line.t
+
+val line : 'a aref -> Line.t
+(** The backing cache line (inspection in tests and stats). *)
+
+val peek : 'a aref -> 'a
+(** Read the value without charging simulated cost (for assertions
+    after a run). *)

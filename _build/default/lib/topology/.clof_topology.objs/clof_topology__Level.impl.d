@@ -1,0 +1,1 @@
+lib/topology/level.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/topology/level.mli: Format

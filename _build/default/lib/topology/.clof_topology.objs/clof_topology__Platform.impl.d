@@ -1,0 +1,1 @@
+lib/topology/platform.ml: Fun Level Printf Topology

@@ -1,0 +1,1 @@
+lib/topology/platform.mli: Topology

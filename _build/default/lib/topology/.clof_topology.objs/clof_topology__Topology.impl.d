@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Format Fun Hashtbl Level List Printf String

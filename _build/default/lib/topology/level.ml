@@ -1,0 +1,74 @@
+type t =
+  | Core
+  | Cache_group
+  | Numa_node
+  | Package
+  | System
+
+type proximity =
+  | Same_cpu
+  | Same_core
+  | Same_cache
+  | Same_numa
+  | Same_package
+  | Same_system
+
+let all = [ Core; Cache_group; Numa_node; Package; System ]
+
+let to_string = function
+  | Core -> "core"
+  | Cache_group -> "cache-group"
+  | Numa_node -> "numa-node"
+  | Package -> "package"
+  | System -> "system"
+
+let abbrev = function
+  | Core -> "core"
+  | Cache_group -> "cache"
+  | Numa_node -> "numa"
+  | Package -> "pkg"
+  | System -> "sys"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "core" -> Some Core
+  | "cache" | "cache-group" | "cachegroup" | "l3" -> Some Cache_group
+  | "numa" | "numa-node" | "node" -> Some Numa_node
+  | "pkg" | "package" | "socket" -> Some Package
+  | "sys" | "system" -> Some System
+  | _ -> None
+
+let rank = function
+  | Core -> 0
+  | Cache_group -> 1
+  | Numa_node -> 2
+  | Package -> 3
+  | System -> 4
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let proximity_of_level = function
+  | Core -> Same_core
+  | Cache_group -> Same_cache
+  | Numa_node -> Same_numa
+  | Package -> Same_package
+  | System -> Same_system
+
+let abbrev_of_prox = function
+  | Same_cpu -> "cpu"
+  | Same_core -> "core"
+  | Same_cache -> "cache"
+  | Same_numa -> "numa"
+  | Same_package -> "pkg"
+  | Same_system -> "sys"
+
+let proximity_to_string = function
+  | Same_cpu -> "same-cpu"
+  | Same_core -> "same-core"
+  | Same_cache -> "same-cache"
+  | Same_numa -> "same-numa"
+  | Same_package -> "same-package"
+  | Same_system -> "same-system"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let pp_proximity ppf p = Format.pp_print_string ppf (proximity_to_string p)

@@ -1,0 +1,51 @@
+(** Levels of a multi-level NUMA memory hierarchy.
+
+    Levels are ordered from the innermost grouping ([Core], hyperthread
+    pairs sharing L1/L2) to the outermost ([System], the whole machine).
+    A {e cohort} is one group at a given level: a single NUMA node is a
+    cohort of the [Numa_node] level, a single L3 partition is a cohort of
+    the [Cache_group] level, and so on (paper, Section 3.1). *)
+
+type t =
+  | Core        (** hyperthreads sharing one physical core (L1/L2) *)
+  | Cache_group (** cores sharing one L3 cache partition *)
+  | Numa_node   (** cores sharing one memory bank *)
+  | Package     (** NUMA nodes in one processor package *)
+  | System      (** the whole machine *)
+
+(** Proximity of two CPUs: the innermost level whose cohort contains
+    both, or [Same_cpu] when they are the same hardware thread. *)
+type proximity =
+  | Same_cpu
+  | Same_core
+  | Same_cache
+  | Same_numa
+  | Same_package
+  | Same_system
+
+val all : t list
+(** All levels, innermost first: [Core; Cache_group; Numa_node; Package;
+    System]. *)
+
+val to_string : t -> string
+
+val abbrev : t -> string
+(** Short name used in hierarchy notations, e.g. ["numa"]. *)
+
+val of_string : string -> t option
+
+val compare : t -> t -> int
+(** Orders by containment: [compare Core System < 0]. *)
+
+val proximity_of_level : t -> proximity
+(** The proximity of two distinct CPUs whose innermost shared level is
+    the given one. *)
+
+val proximity_to_string : proximity -> string
+
+val abbrev_of_prox : proximity -> string
+(** Short form for table headers, e.g. ["numa"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_proximity : Format.formatter -> proximity -> unit

@@ -1,0 +1,69 @@
+type arch = X86 | Armv8
+type t = { topo : Topology.t; arch : arch }
+
+let arch_to_string = function X86 -> "x86" | Armv8 -> "armv8"
+
+let x86 =
+  (* 96 hyperthreads; siblings are c and c+48, as in the paper's Fig. 1a *)
+  let core i = i mod 48 in
+  {
+    topo =
+      Topology.create ~name:"x86-2x24ht" ~ncpus:96 ~core_of:core
+        ~cache_of:(fun i -> core i / 3)
+        ~numa_of:(fun i -> core i / 24)
+        ~pkg_of:(fun i -> core i / 24);
+    arch = X86;
+  }
+
+let armv8 =
+  {
+    topo =
+      Topology.create ~name:"armv8-2x64" ~ncpus:128 ~core_of:Fun.id
+        ~cache_of:(fun i -> i / 4)
+        ~numa_of:(fun i -> i / 32)
+        ~pkg_of:(fun i -> i / 64);
+    arch = Armv8;
+  }
+
+let tiny =
+  let core i = i mod 8 in
+  {
+    topo =
+      Topology.create ~name:"tiny-x86" ~ncpus:16 ~core_of:core
+        ~cache_of:(fun i -> core i / 2)
+        ~numa_of:(fun i -> core i / 4)
+        ~pkg_of:(fun i -> core i / 4);
+    arch = X86;
+  }
+
+let tiny_arm =
+  {
+    topo =
+      Topology.create ~name:"tiny-arm" ~ncpus:16 ~core_of:Fun.id
+        ~cache_of:(fun i -> i / 2)
+        ~numa_of:(fun i -> i / 4)
+        ~pkg_of:(fun i -> i / 8);
+    arch = Armv8;
+  }
+
+let hier2 _ = [ Level.Numa_node; Level.System ]
+
+let hier3 _ = [ Level.Cache_group; Level.Numa_node; Level.System ]
+
+let hier3_hmcs_orig p =
+  match p.arch with
+  | X86 -> [ Level.Core; Level.Numa_node; Level.System ]
+  | Armv8 -> hier3 p
+
+let hier4 p =
+  match p.arch with
+  | X86 ->
+      [ Level.Core; Level.Cache_group; Level.Numa_node; Level.System ]
+  | Armv8 ->
+      [ Level.Cache_group; Level.Numa_node; Level.Package; Level.System ]
+
+let hierarchy_of_depth p = function
+  | 2 -> hier2 p
+  | 3 -> hier3 p
+  | 4 -> hier4 p
+  | n -> invalid_arg (Printf.sprintf "hierarchy_of_depth: %d" n)

@@ -1,0 +1,48 @@
+(** The two evaluation platforms of the paper (Section 5.1.1), plus small
+    synthetic machines for tests. *)
+
+type arch =
+  | X86   (** TSO; MESIF coherence; hyperthreading *)
+  | Armv8 (** weak memory model; LL/SC atomics *)
+
+type t = { topo : Topology.t; arch : arch }
+
+val arch_to_string : arch -> string
+
+val x86 : t
+(** GIGABYTE R182-Z91: 2 EPYC 7352 packages, 1 NUMA node per package,
+    8 cache groups of 3 cores per NUMA node, 2 hyperthreads per core =
+    96 CPUs. CPU numbering matches the paper's heatmap: hyperthread
+    siblings are [c] and [c + 48]. *)
+
+val armv8 : t
+(** Huawei TaiShan 200: 2 Kunpeng 920-6426 packages, 2 NUMA nodes per
+    package, cache groups of 4 cores, no hyperthreading = 128 CPUs. *)
+
+val tiny : t
+(** Synthetic 16-CPU machine (2 packages x 2 cache groups x 2 cores x 2
+    hyperthreads) for fast tests. *)
+
+val tiny_arm : t
+(** Synthetic 16-CPU Armv8-like machine (2 packages x 2 NUMA nodes x 2
+    cache groups x 2 cores, no hyperthreading). *)
+
+(** {2 Paper hierarchy configurations (Section 5.2.1)} *)
+
+val hier2 : t -> Topology.hierarchy
+(** NUMA node + system: the configuration CNA/ShflLock papers used for
+    HMCS<2>. *)
+
+val hier3 : t -> Topology.hierarchy
+(** x86: cache, numa, system. Armv8: cache, numa, system. *)
+
+val hier3_hmcs_orig : t -> Topology.hierarchy
+(** x86: core, numa, system — the original HMCS<3> configuration. On
+    Armv8 (no hyperthreading) this falls back to [hier3]. *)
+
+val hier4 : t -> Topology.hierarchy
+(** x86: core, cache, numa, system. Armv8: cache, numa, package,
+    system. *)
+
+val hierarchy_of_depth : t -> int -> Topology.hierarchy
+(** [hierarchy_of_depth p n] for n in [2;4]; the configurations above. *)

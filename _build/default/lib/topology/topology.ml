@@ -1,0 +1,188 @@
+type t = {
+  name : string;
+  ncpus : int;
+  cohort : int array array;
+      (* cohort.(rank).(cpu) = dense cohort id; rank as in [Level.all] *)
+  counts : int array; (* counts.(rank) = number of cohorts at that rank *)
+}
+
+type hierarchy = Level.t list
+
+let nlevels = List.length Level.all
+
+let rank_of_level lvl =
+  let rec go i = function
+    | [] -> invalid_arg "Topology.rank_of_level"
+    | l :: rest -> if l = lvl then i else go (i + 1) rest
+  in
+  go 0 Level.all
+
+(* Renumber arbitrary cohort labels into dense ids 0..n-1, preserving
+   first-appearance order so that preset numbering stays intuitive. *)
+let densify labels =
+  let table = Hashtbl.create 16 in
+  let next = ref 0 in
+  let out =
+    Array.map
+      (fun l ->
+        match Hashtbl.find_opt table l with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.add table l id;
+            id)
+      labels
+  in
+  (out, !next)
+
+let check_nesting name cohort counts =
+  (* Two CPUs sharing a cohort at rank r must share cohorts at all ranks
+     > r. Equivalently: the inner cohort id determines the outer one. *)
+  let ncpus = Array.length cohort.(0) in
+  for r = 0 to nlevels - 2 do
+    let outer_of = Array.make counts.(r) (-1) in
+    for cpu = 0 to ncpus - 1 do
+      let inner = cohort.(r).(cpu) and outer = cohort.(r + 1).(cpu) in
+      if outer_of.(inner) = -1 then outer_of.(inner) <- outer
+      else if outer_of.(inner) <> outer then
+        invalid_arg
+          (Printf.sprintf
+             "Topology.create %s: cohorts do not nest at level %s"
+             name
+             (Level.to_string (List.nth Level.all r)))
+    done
+  done
+
+let create ~name ~ncpus ~core_of ~cache_of ~numa_of ~pkg_of =
+  if ncpus <= 0 then invalid_arg "Topology.create: ncpus <= 0";
+  let tabulate f = Array.init ncpus f in
+  let raw =
+    [|
+      tabulate core_of;
+      tabulate cache_of;
+      tabulate numa_of;
+      tabulate pkg_of;
+      tabulate (fun _ -> 0);
+    |]
+  in
+  let cohort = Array.make nlevels [||] in
+  let counts = Array.make nlevels 0 in
+  Array.iteri
+    (fun r labels ->
+      let dense, n = densify labels in
+      cohort.(r) <- dense;
+      counts.(r) <- n)
+    raw;
+  check_nesting name cohort counts;
+  { name; ncpus; cohort; counts }
+
+let name t = t.name
+let ncpus t = t.ncpus
+
+let check_cpu t cpu =
+  if cpu < 0 || cpu >= t.ncpus then
+    invalid_arg (Printf.sprintf "Topology: cpu %d out of range" cpu)
+
+let cohort_of t lvl cpu =
+  check_cpu t cpu;
+  t.cohort.(rank_of_level lvl).(cpu)
+
+let ncohorts t lvl = t.counts.(rank_of_level lvl)
+
+let cpus_of_cohort t lvl id =
+  let r = rank_of_level lvl in
+  let acc = ref [] in
+  for cpu = t.ncpus - 1 downto 0 do
+    if t.cohort.(r).(cpu) = id then acc := cpu :: !acc
+  done;
+  !acc
+
+let proximity t a b =
+  check_cpu t a;
+  check_cpu t b;
+  if a = b then Level.Same_cpu
+  else
+    let rec go = function
+      | [] -> Level.Same_system
+      | lvl :: rest ->
+          let r = rank_of_level lvl in
+          if t.cohort.(r).(a) = t.cohort.(r).(b) then
+            Level.proximity_of_level lvl
+          else go rest
+    in
+    go Level.all
+
+let shared_level t a b =
+  if a = b then None
+  else
+    let rec go = function
+      | [] -> Some Level.System
+      | lvl :: rest ->
+          let r = rank_of_level lvl in
+          if t.cohort.(r).(a) = t.cohort.(r).(b) then Some lvl else go rest
+    in
+    go Level.all
+
+let cpus_per_cohort t lvl =
+  let r = rank_of_level lvl in
+  let sizes = Array.make t.counts.(r) 0 in
+  Array.iter (fun id -> sizes.(id) <- sizes.(id) + 1) t.cohort.(r);
+  Array.fold_left max 0 sizes
+
+let validate_hierarchy t hier =
+  let rec strictly_inner = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Level.compare a b < 0 && strictly_inner rest
+  in
+  match List.rev hier with
+  | [] -> Error "hierarchy is empty"
+  | outermost :: _ when outermost <> Level.System ->
+      Error "hierarchy must end at the system level"
+  | _ when not (strictly_inner hier) ->
+      Error "hierarchy levels must be strictly inner-to-outer"
+  | _ ->
+      let degenerate =
+        List.exists
+          (fun lvl -> lvl <> Level.System && ncohorts t lvl <= 1)
+          hier
+      in
+      if degenerate then
+        Error "hierarchy contains a level with a single cohort"
+      else Ok ()
+
+let hierarchy_to_string hier =
+  String.concat "-" (List.map Level.abbrev hier)
+
+let ht_rank t cpu =
+  (* position of [cpu] among the cpus of its physical core *)
+  let core = cohort_of t Level.Core cpu in
+  let rec go rank = function
+    | [] -> rank
+    | c :: rest -> if c = cpu then rank else go (rank + 1) rest
+  in
+  go 0 (cpus_of_cohort t Level.Core core)
+
+let pick_cpus t ~nthreads =
+  if nthreads <= 0 || nthreads > t.ncpus then
+    invalid_arg
+      (Printf.sprintf "Topology.pick_cpus: nthreads %d not in [1,%d]"
+         nthreads t.ncpus);
+  let key cpu =
+    ( ht_rank t cpu,
+      cohort_of t Level.Package cpu,
+      cohort_of t Level.Numa_node cpu,
+      cohort_of t Level.Cache_group cpu,
+      cohort_of t Level.Core cpu,
+      cpu )
+  in
+  let cpus = Array.init t.ncpus Fun.id in
+  Array.sort (fun a b -> compare (key a) (key b)) cpus;
+  Array.sub cpus 0 nthreads
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d cpus" t.name t.ncpus;
+  List.iter
+    (fun lvl ->
+      Format.fprintf ppf ", %d %s" (ncohorts t lvl) (Level.to_string lvl))
+    Level.all

@@ -1,0 +1,1 @@
+lib/verify/checker.ml: Array Effect Format Fun List Printexc Printf Queue String Sys Vstate

@@ -1,0 +1,1 @@
+lib/verify/checker.mli: Format Vstate

@@ -1,0 +1,1 @@
+lib/verify/scenarios.ml: Checker Clof_atomics Clof_core Clof_locks Clof_topology Fun Level List Option Printf Topology Vmem Vstate

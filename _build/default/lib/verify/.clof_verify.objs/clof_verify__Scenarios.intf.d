@@ -1,0 +1,1 @@
+lib/verify/scenarios.mli: Checker Vstate

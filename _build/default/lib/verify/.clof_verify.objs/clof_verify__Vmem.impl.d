@@ -1,0 +1,1 @@
+lib/verify/vmem.ml: Array Clof_atomics Effect Queue Vstate

@@ -1,0 +1,1 @@
+lib/verify/vmem.mli: Clof_atomics

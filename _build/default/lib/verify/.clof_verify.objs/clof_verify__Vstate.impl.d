@@ -1,0 +1,1 @@
+lib/verify/vstate.ml: Array Effect Queue

@@ -1,0 +1,399 @@
+type config = {
+  mode : Vstate.mode;
+  preemption_bound : int;
+  delay_bound : int;
+  max_executions : int;
+  max_steps : int;
+}
+
+let default =
+  {
+    mode = Vstate.Sc;
+    preemption_bound = 2;
+    delay_bound = 2;
+    max_executions = 100_000;
+    max_steps = 5_000;
+  }
+
+let sc ?(preemptions = 2) () =
+  { default with mode = Vstate.Sc; preemption_bound = preemptions }
+
+let tso ?(preemptions = 2) ?(delays = 2) () =
+  {
+    default with
+    mode = Vstate.Tso;
+    preemption_bound = preemptions;
+    delay_bound = delays;
+  }
+
+type violation =
+  | Property of string
+  | Deadlock of string
+  | Runaway of string
+  | Crash of string
+
+type report = {
+  name : string;
+  executions : int;
+  steps : int;
+  violation : (violation * string list) option;
+  truncated : bool;
+  seconds : float;
+}
+
+type choice = Step of int | Flush of int
+
+let cs_enter () =
+  let run = Vstate.the_run () in
+  run.in_cs <- run.in_cs + 1;
+  if run.in_cs > 1 then
+    raise (Vstate.Prop_violation "mutual exclusion violated")
+
+let cs_exit () =
+  let run = Vstate.the_run () in
+  run.in_cs <- run.in_cs - 1
+
+(* Result of one execution: the choices actually taken, the decision
+   points at which untried alternatives remain, and the outcome. *)
+type exec_result = {
+  taken : choice array;
+  branch : (int * choice list) list;
+  bad : (violation * string list) option;
+  nsteps : int;
+}
+
+exception Abort_run of violation
+exception Prune
+(* an unfair schedule ran a spinner unboundedly while another thread
+   could have progressed: cut the path, it proves nothing *)
+
+(* A paused spinner resumes when something was committed since it
+   paused — the fairness assumption behind every spinloop — or when
+   nothing else in the system can possibly act (it is the only party
+   left, so spinning on is its own business). *)
+let pause_enabled (run : Vstate.run) (th : Vstate.thread) snap () =
+  run.Vstate.writes <> snap
+  ||
+  let others_can_act = ref (not (Queue.is_empty th.Vstate.buffer)) in
+  Array.iter
+    (fun (o : Vstate.thread) ->
+      if o.Vstate.tid <> th.Vstate.tid then begin
+        if not (Queue.is_empty o.Vstate.buffer) then others_can_act := true;
+        match o.Vstate.status with
+        | Vstate.Finished -> ()
+        | Vstate.Waiting ("pause", _, _) -> ()
+        | Vstate.Waiting (_, pred, _) -> if pred () then others_can_act := true
+        | Vstate.Not_started _ | Vstate.Ready _ -> others_can_act := true
+      end)
+    run.Vstate.threads;
+  not !others_can_act
+
+let spawn (run : Vstate.run) (th : Vstate.thread) body =
+  Vstate.cur_tid := th.tid;
+  let resume k () =
+    Vstate.cur_tid := th.tid;
+    Effect.Deep.continue k ()
+  in
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> th.status <- Vstate.Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Vstate.Op desc ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  th.status <- Vstate.Ready (desc, resume k))
+          | Vstate.Await_op (desc, pred) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  th.status <- Vstate.Waiting (desc, pred, resume k))
+          | Vstate.Pause_op ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let snap = run.Vstate.writes in
+                  th.status <-
+                    Vstate.Waiting
+                      ("pause", pause_enabled run th snap, resume k))
+          | _ -> None);
+    }
+
+let trace_of (run : Vstate.run) =
+  List.rev_map
+    (fun (tid, desc) -> Printf.sprintf "t%d: %s" tid desc)
+    run.trace
+
+let desc_of (th : Vstate.thread) =
+  match th.status with
+  | Vstate.Not_started _ -> "start"
+  | Vstate.Ready (d, _) -> d
+  | Vstate.Waiting (d, _, _) -> d
+  | Vstate.Finished -> "done"
+
+let run_once cfg scenario (prefix : choice array) =
+  let run =
+    {
+      Vstate.mode = cfg.mode;
+      threads = [||];
+      in_cs = 0;
+      trace = [];
+      writes = 0;
+      steps_since_write = 0;
+    }
+  in
+  Vstate.current := Some run;
+  let finally () = Vstate.current := None in
+  Fun.protect ~finally @@ fun () ->
+  let bodies = scenario () in
+  let threads =
+    Array.of_list
+      (List.mapi
+         (fun i body ->
+           {
+             Vstate.tid = i;
+             status = Vstate.Not_started body;
+             buffer = Queue.create ();
+             steps = 0;
+             window_steps = 0;
+           })
+         bodies)
+  in
+  run.threads <- threads;
+  let taken = ref [] in
+  let branch = ref [] in
+  let nsteps = ref 0 in
+  let unbounded b = b < 0 in
+  (* cost of a choice: (preemptions, delays) *)
+  let cost last = function
+    | Flush _ -> (0, 0)
+    | Step i ->
+        let p =
+          if last < 0 || i = last then 0
+          else begin
+            (* switching away from a thread that could still run is a
+               preemption *)
+            let lt = threads.(last) in
+            match lt.Vstate.status with
+            | Vstate.Ready _ -> 1
+            | Vstate.Waiting (_, pred, _) -> if pred () then 1 else 0
+            | Vstate.Not_started _ -> 1
+            | Vstate.Finished -> 0
+          end
+        in
+        let d =
+          if cfg.mode = Vstate.Tso
+             && not (Queue.is_empty threads.(i).Vstate.buffer)
+          then 1
+          else 0
+        in
+        (p, d)
+  in
+  let enabled () =
+    let acc = ref [] in
+    Array.iter
+      (fun th ->
+        (match th.Vstate.status with
+        | Vstate.Not_started _ | Vstate.Ready _ ->
+            acc := Step th.Vstate.tid :: !acc
+        | Vstate.Waiting (_, pred, _) ->
+            if pred () then acc := Step th.Vstate.tid :: !acc
+        | Vstate.Finished -> ());
+        if
+          cfg.mode = Vstate.Tso
+          && not (Queue.is_empty th.Vstate.buffer)
+        then acc := Flush th.Vstate.tid :: !acc)
+      threads;
+    List.rev !acc
+  in
+  let execute = function
+    | Flush i ->
+        let th = threads.(i) in
+        let desc, commit = Queue.pop th.Vstate.buffer in
+        run.trace <- (i, desc) :: run.trace;
+        commit ()
+    | Step i -> (
+        let th = threads.(i) in
+        th.Vstate.steps <- th.Vstate.steps + 1;
+        incr nsteps;
+        if th.Vstate.steps > cfg.max_steps then
+          raise
+            (Abort_run
+               (Runaway
+                  (Printf.sprintf "t%d exceeded %d steps at '%s'" i
+                     cfg.max_steps (desc_of th))));
+        run.steps_since_write <- run.steps_since_write + 1;
+        th.Vstate.window_steps <- th.Vstate.window_steps + 1;
+        if run.steps_since_write > max 256 (32 * Array.length threads)
+        then begin
+          (* nothing has been written for a long time: a real spinloop
+             failure only if every live thread had its fair share of
+             the window and still wrote nothing; otherwise this is just
+             an unfair schedule *)
+          let all_spun = ref true in
+          Array.iter
+            (fun o ->
+              if
+                o.Vstate.status <> Vstate.Finished
+                && o.Vstate.window_steps < 8
+              then all_spun := false)
+            threads;
+          if !all_spun then
+            raise
+              (Abort_run
+                 (Deadlock
+                    "threads keep spinning but nothing is ever written \
+                     — a spinloop no schedule can release"))
+          else raise Prune
+        end;
+        run.trace <- (i, desc_of th) :: run.trace;
+        match th.Vstate.status with
+        | Vstate.Not_started body ->
+            th.Vstate.status <- Vstate.Finished;
+            (* placeholder; spawn sets the real status *)
+            spawn run th body
+        | Vstate.Ready (_, resume) | Vstate.Waiting (_, _, resume) ->
+            th.Vstate.status <- Vstate.Finished;
+            resume ()
+        | Vstate.Finished -> assert false)
+  in
+  let outcome = ref None in
+  (try
+     let rec loop pos preempts delays last =
+       let all = enabled () in
+       if all = [] then begin
+         let stuck =
+           Array.to_list threads
+           |> List.filter (fun th -> th.Vstate.status <> Vstate.Finished)
+         in
+         if stuck <> [] then
+           raise
+             (Abort_run
+                (Deadlock
+                   (String.concat ", "
+                      (List.map
+                         (fun th ->
+                           Printf.sprintf "t%d blocked at '%s'"
+                             th.Vstate.tid (desc_of th))
+                         stuck))))
+       end
+       else begin
+         let affordable =
+           List.filter
+             (fun c ->
+               let p, d = cost last c in
+               (unbounded cfg.preemption_bound
+               || preempts + p <= cfg.preemption_bound)
+               && (unbounded cfg.delay_bound || delays + d <= cfg.delay_bound))
+             all
+         in
+         match affordable with
+         | [] -> () (* cut off by the bounds; not a violation *)
+         | _ ->
+             let chosen =
+               if pos < Array.length prefix then prefix.(pos)
+               else begin
+                 let free =
+                   List.filter (fun c -> cost last c = (0, 0)) affordable
+                 in
+                 (* rotate among free steps by window share so default
+                    schedules are fair to spinners *)
+                 let weight = function
+                   | Flush _ -> -1
+                   | Step i -> threads.(i).Vstate.window_steps
+                 in
+                 let pick =
+                   match free with
+                   | [] -> List.hd affordable
+                   | c :: rest ->
+                       List.fold_left
+                         (fun best c ->
+                           if weight c < weight best then c else best)
+                         c rest
+                 in
+                 let rest = List.filter (fun c -> c <> pick) affordable in
+                 if rest <> [] then branch := (pos, rest) :: !branch;
+                 pick
+               end
+             in
+             let p, d = cost last chosen in
+             taken := chosen :: !taken;
+             execute chosen;
+             let last' = match chosen with Step i -> i | Flush _ -> last in
+             loop (pos + 1) (preempts + p) (delays + d) last'
+       end
+     in
+     loop 0 0 0 (-1)
+   with
+  | Abort_run v -> outcome := Some (v, trace_of run)
+  | Prune -> ()
+  | Vstate.Prop_violation msg -> outcome := Some (Property msg, trace_of run)
+  | Stack_overflow ->
+      outcome := Some (Crash "stack overflow", trace_of run)
+  | e when e <> Out_of_memory ->
+      outcome := Some (Crash (Printexc.to_string e), trace_of run));
+  {
+    taken = Array.of_list (List.rev !taken);
+    branch = !branch;
+    bad = !outcome;
+    nsteps = !nsteps;
+  }
+
+let check ?(config = default) ~name scenario =
+  let t0 = Sys.time () in
+  let executions = ref 0 in
+  let steps = ref 0 in
+  let truncated = ref false in
+  let violation = ref None in
+  let stack = ref [ [||] ] in
+  let rec go () =
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+        stack := rest;
+        if !executions >= config.max_executions then truncated := true
+        else begin
+          incr executions;
+          let r = run_once config scenario prefix in
+          steps := !steps + r.nsteps;
+          match r.bad with
+          | Some v -> violation := Some v
+          | None ->
+              (* push deepest first so the stack pops the shallowest:
+                 weak-memory divergences live near the root, and this
+                 order reaches them before the deep spin tails *)
+              List.iter
+                (fun (pos, alts) ->
+                  List.iter
+                    (fun alt ->
+                      let prefix' = Array.sub r.taken 0 pos in
+                      stack :=
+                        Array.append prefix' [| alt |] :: !stack)
+                    alts)
+                r.branch;
+              go ()
+        end
+  in
+  go ();
+  {
+    name;
+    executions = !executions;
+    steps = !steps;
+    violation = !violation;
+    truncated = !truncated;
+    seconds = Sys.time () -. t0;
+  }
+
+let violation_to_string = function
+  | Property m -> "property: " ^ m
+  | Deadlock m -> "deadlock: " ^ m
+  | Runaway m -> "runaway: " ^ m
+  | Crash m -> "crash: " ^ m
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-34s %8d execs %9d steps %6.2fs %s%s" r.name
+    r.executions r.steps r.seconds
+    (match r.violation with
+    | None -> "ok"
+    | Some (v, _) -> "VIOLATION " ^ violation_to_string v)
+    (if r.truncated then " (truncated)" else "")

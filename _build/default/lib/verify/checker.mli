@@ -1,0 +1,65 @@
+(** Systematic concurrency checker — the repo's substitute for GenMC +
+    TLC in the paper's correctness argument (Section 4.2; DESIGN.md
+    Section 2, substitution 3).
+
+    Scenarios are closures building fresh shared state and returning
+    thread bodies written against {!Vmem}. The checker re-executes the
+    scenario under depth-first-explored schedules: at every memory
+    operation it chooses which thread runs next, and in TSO mode it
+    additionally explores delayed store-buffer flushes. Exploration is
+    bounded by a preemption budget (CHESS-style) and a store-delay
+    budget, so it is a bounded checker, not a proof tool — but it finds
+    the classic weak-memory bugs (see {!Scenarios}) and exhaustively
+    covers small configurations when the bounds exceed the scenario
+    size.
+
+    Checked properties: mutual exclusion (via {!cs_enter}/{!cs_exit}),
+    deadlock (no enabled action while threads remain — covering lost
+    wake-ups and the spinloop-termination property), runaway spinning
+    (step bound), and any {!Vstate.Prop_violation} raised by scenario
+    assertions (e.g. the context invariant). *)
+
+type config = {
+  mode : Vstate.mode;
+  preemption_bound : int;  (** [-1] = unbounded (exhaustive) *)
+  delay_bound : int;  (** TSO store-delay budget; [-1] = unbounded *)
+  max_executions : int;
+  max_steps : int;  (** per-thread visible-op budget per execution *)
+}
+
+val default : config
+(** SC, preemptions 2, delays 2, 100k executions, 5k steps. *)
+
+val sc : ?preemptions:int -> unit -> config
+val tso : ?preemptions:int -> ?delays:int -> unit -> config
+
+type violation =
+  | Property of string  (** mutual exclusion / assertion / invariant *)
+  | Deadlock of string  (** blocked threads and what they wait on *)
+  | Runaway of string  (** a thread exceeded the step bound *)
+  | Crash of string  (** scenario raised an unexpected exception *)
+
+type report = {
+  name : string;
+  executions : int;  (** distinct schedules explored *)
+  steps : int;  (** total visible operations executed *)
+  violation : (violation * string list) option;
+      (** first violation found, with the schedule trace that exhibits
+          it (["tid: op"] lines) *)
+  truncated : bool;  (** hit [max_executions] before exhausting *)
+  seconds : float;  (** processor time spent *)
+}
+
+val check :
+  ?config:config -> name:string -> (unit -> (unit -> unit) list) -> report
+(** Explore all schedules of the scenario within bounds. The scenario
+    is re-run from scratch once per schedule and must be deterministic
+    apart from scheduling. *)
+
+val cs_enter : unit -> unit
+(** Mark critical-section entry; overlapping sections raise the mutual
+    exclusion violation. Call between acquire and release. *)
+
+val cs_exit : unit -> unit
+
+val pp_report : Format.formatter -> report -> unit

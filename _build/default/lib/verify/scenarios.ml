@@ -1,0 +1,225 @@
+open Clof_topology
+
+type named = {
+  sname : string;
+  config : Checker.config;
+  expect_violation : bool;
+  scenario : unit -> (unit -> unit) list;
+}
+
+let run n = Checker.check ~config:n.config ~name:n.sname n.scenario
+
+module R = Clof_locks.Registry.Make (Vmem)
+module G = Clof_core.Generator.Make (Vmem)
+
+(* Dynamic monitor for the context invariant (Section 4.1.3): a context
+   must never serve two concurrent acquire/release operations. *)
+module Instrument (B : Clof_locks.Lock_intf.S) :
+  Clof_locks.Lock_intf.S with type anchor = B.anchor = struct
+  type t = B.t
+  type ctx = { inner : B.ctx; mutable busy : bool }
+  type anchor = B.anchor
+
+  let name = B.name ^ "!"
+  let fair = B.fair
+  let needs_ctx = B.needs_ctx
+  let create = B.create
+  let anchor = B.anchor
+  let ctx_create ?node t = { inner = B.ctx_create ?node t; busy = false }
+
+  let guard c what f =
+    if c.busy then
+      raise
+        (Vstate.Prop_violation
+           ("context invariant: concurrent " ^ what ^ " on one context"));
+    c.busy <- true;
+    f ();
+    c.busy <- false
+
+  let acquire t c = guard c "acquire" (fun () -> B.acquire t c.inner)
+  let release t c = guard c "release" (fun () -> B.release t c.inner)
+
+  let has_waiters =
+    Option.map (fun f t c -> f t c.inner) B.has_waiters
+end
+
+(* Miniature machines, one cohort split per level. *)
+let mini_topo depth =
+  match depth with
+  | 1 ->
+      Topology.create ~name:"mini1" ~ncpus:3 ~core_of:Fun.id
+        ~cache_of:Fun.id ~numa_of:Fun.id
+        ~pkg_of:(fun _ -> 0)
+  | 2 ->
+      Topology.create ~name:"mini2" ~ncpus:4 ~core_of:Fun.id
+        ~cache_of:Fun.id
+        ~numa_of:(fun i -> i / 2)
+        ~pkg_of:(fun i -> i / 2)
+  | 3 ->
+      Topology.create ~name:"mini3" ~ncpus:8 ~core_of:Fun.id
+        ~cache_of:(fun i -> i / 2)
+        ~numa_of:(fun i -> i / 4)
+        ~pkg_of:(fun i -> i / 4)
+  | d -> invalid_arg (Printf.sprintf "mini_topo: depth %d" d)
+
+let mini_hierarchy = function
+  | 1 -> [ Level.System ]
+  | 2 -> [ Level.Numa_node; Level.System ]
+  | 3 -> [ Level.Cache_group; Level.Numa_node; Level.System ]
+  | d -> invalid_arg (Printf.sprintf "mini_hierarchy: depth %d" d)
+
+(* Shared payload: an unprotected counter, so a mutual-exclusion breach
+   is observable both by the cs monitor and as a lost update. *)
+let payload data () =
+  Checker.cs_enter ();
+  let v = Vmem.load data in
+  Vmem.store ~o:Clof_atomics.Memory_order.Relaxed data (v + 1);
+  Checker.cs_exit ()
+
+let basic_scenario (type a) (packed : a Clof_locks.Lock_intf.packed)
+    ~threads ~iters () =
+  let (module B) = packed in
+  let lock = B.create () in
+  let data = Vmem.make ~name:"data" 0 in
+  List.init threads (fun _ ->
+      let ctx = B.ctx_create lock in
+      fun () ->
+        for _ = 1 to iters do
+          B.acquire lock ctx;
+          payload data ();
+          B.release lock ctx
+        done)
+
+let clof_scenario (packed : Clof_core.Clof_intf.packed) ~depth ~threads
+    ~iters () =
+  let (module L) = packed in
+  let topo = mini_topo depth in
+  let lock = L.create ~h:2 ~topo ~hierarchy:(mini_hierarchy depth) () in
+  let data = Vmem.make ~name:"data" 0 in
+  List.init threads (fun cpu ->
+      let ctx = L.ctx_create lock ~cpu in
+      fun () ->
+        for _ = 1 to iters do
+          L.acquire lock ctx;
+          payload data ();
+          L.release lock ctx
+        done)
+
+let mode_tag = function Vstate.Sc -> "sc" | Vstate.Tso -> "tso"
+
+let config_of mode =
+  match mode with
+  | Vstate.Sc -> { (Checker.sc ~preemptions:2 ()) with max_executions = 20_000 }
+  | Vstate.Tso ->
+      { (Checker.tso ~preemptions:2 ~delays:2 ()) with
+        max_executions = 20_000 }
+
+let base_step ?(threads = 3) ?(iters = 2) ~mode lock_name =
+  match R.find ~ctr:false lock_name with
+  | None -> None
+  | Some packed ->
+      Some
+        {
+          sname =
+            Printf.sprintf "base/%s %dT x%d [%s]" lock_name threads iters
+              (mode_tag mode);
+          config = config_of mode;
+          expect_violation = false;
+          scenario = basic_scenario packed ~threads ~iters;
+        }
+
+(* The induction step composes abstract fair locks; the root lock is
+   instrumented so any violation of the context invariant on the shared
+   high-lock context is detected. *)
+module Tkt = Clof_locks.Ticket.Make (Vmem)
+module Tkt_monitored = Instrument (Tkt)
+module Root = Clof_core.Compose.Base (Tkt_monitored)
+module Clof2 = Clof_core.Compose.Compose (Vmem) (Tkt) (Root)
+module Clof3 = Clof_core.Compose.Compose (Vmem) (Tkt) (Clof2)
+
+let induction_step ?(depth = 2) ?(threads = 3) ~mode () =
+  let packed : Clof_core.Clof_intf.packed =
+    match depth with
+    | 2 -> (module Clof2)
+    | 3 -> (module Clof3)
+    | d -> invalid_arg (Printf.sprintf "induction_step: depth %d" d)
+  in
+  {
+    sname =
+      Printf.sprintf "induction/clof<%d> tkt %dT [%s]" depth threads
+        (mode_tag mode);
+    config = config_of mode;
+    expect_violation = false;
+    scenario = clof_scenario packed ~depth ~threads ~iters:2;
+  }
+
+let peterson ~fenced ~mode =
+  let scenario () =
+    let module P =
+      Clof_locks.Peterson.Make
+        (Vmem)
+        (struct
+          let fenced = fenced
+        end)
+    in
+    let lock = P.create () in
+    let data = Vmem.make ~name:"data" 0 in
+    List.init 2 (fun _ ->
+        let ctx = P.ctx_create lock in
+        fun () ->
+          for _ = 1 to 2 do
+            P.acquire lock ctx;
+            payload data ();
+            P.release lock ctx
+          done)
+  in
+  {
+    sname =
+      Printf.sprintf "peterson%s [%s]"
+        (if fenced then "" else "-nofence")
+        (mode_tag mode);
+    config =
+      (match mode with
+      | Vstate.Sc ->
+          { (Checker.sc ~preemptions:4 ()) with max_executions = 100_000 }
+      | Vstate.Tso ->
+          (* store-buffering needs each thread to run several ops past
+             its own unflushed stores, so the delay budget must cover
+             both threads' windows *)
+          { (Checker.tso ~preemptions:3 ~delays:8 ()) with
+            max_executions = 200_000 });
+    expect_violation = (not fenced) && mode = Vstate.Tso;
+    scenario;
+  }
+
+let all () =
+  let locks = [ "tkt"; "mcs"; "clh"; "hem"; "tas"; "ttas"; "bo" ] in
+  let base mode =
+    List.filter_map (fun l -> base_step ~mode l) locks
+  in
+  base Vstate.Sc @ base Vstate.Tso
+  @ [
+      induction_step ~depth:2 ~mode:Vstate.Sc ();
+      induction_step ~depth:2 ~mode:Vstate.Tso ();
+      peterson ~fenced:true ~mode:Vstate.Sc;
+      peterson ~fenced:true ~mode:Vstate.Tso;
+      peterson ~fenced:false ~mode:Vstate.Sc;
+      peterson ~fenced:false ~mode:Vstate.Tso;
+    ]
+
+let scaling ?(max_depth = 3) () =
+  List.init max_depth (fun i ->
+      let depth = i + 1 in
+      let packed =
+        G.build (List.init depth (fun _ -> R.ticket))
+      in
+      let named =
+        {
+          sname = Printf.sprintf "scaling/clof<%d> tkt 3T" depth;
+          config =
+            { (Checker.sc ~preemptions:2 ()) with max_executions = 200_000 };
+          expect_violation = false;
+          scenario = clof_scenario packed ~depth ~threads:3 ~iters:1;
+        }
+      in
+      (depth, run named))

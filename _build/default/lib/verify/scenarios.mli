@@ -1,0 +1,44 @@
+(** The verification scenarios of the paper's Section 4.2, over the
+    {!Checker}.
+
+    Base step: every basic lock is checked alone (mutual exclusion +
+    absence of deadlock/runaway) under SC and under TSO store buffers.
+    Induction step: one 2-level CLoF composition over abstract fair
+    locks (Ticketlocks, as in the paper), with the {e context
+    invariant} monitored dynamically. The aspect-A4 exhibit is
+    Peterson's algorithm: correct under SC, broken by store buffering
+    unless fenced — the checker's TSO mode finds the mutual-exclusion
+    violation in the unfenced variant and passes the fenced one. *)
+
+type named = {
+  sname : string;
+  config : Checker.config;
+  expect_violation : bool;
+      (** true for the seeded-bug exhibits: the run {e must} find a
+          violation, or the checker itself is broken *)
+  scenario : unit -> (unit -> unit) list;
+}
+
+val run : named -> Checker.report
+
+val base_step :
+  ?threads:int -> ?iters:int -> mode:Vstate.mode -> string -> named option
+(** Scenario for one basic lock by registry name ("tkt", "mcs", "clh",
+    "hem", "tas", "ttas", "bo"); [threads] defaults to 3, [iters] to
+    2 acquisitions per thread. *)
+
+val induction_step : ?depth:int -> ?threads:int -> mode:Vstate.mode -> unit -> named
+(** CLoF composition of abstract Ticketlocks with [depth] levels
+    (default 2) on a miniature 2-node topology, context invariant
+    checked. [threads] defaults to 3. *)
+
+val peterson : fenced:bool -> mode:Vstate.mode -> named
+
+val all : unit -> named list
+(** The full verification suite: base steps (SC + TSO), induction step
+    (SC + TSO), Peterson exhibits. *)
+
+val scaling : ?max_depth:int -> unit -> (int * Checker.report) list
+(** The Section 4.2.3 experiment: checker effort versus composition
+    depth (1..max_depth, default 3), SC mode, exhaustive within the
+    execution budget. *)

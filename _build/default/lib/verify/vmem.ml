@@ -1,0 +1,115 @@
+type 'a aref = {
+  name : string;
+  mutable v : 'a; (* committed, globally visible value *)
+  mutable pend : (int * 'a) list; (* buffered stores: (tid, value), newest first *)
+}
+
+let make ?node:_ ?(name = "ref") v = { name; v; pend = [] }
+let colocated _other ?(name = "ref") v = make ~name v
+
+type anchor = unit
+
+let anchor _ = ()
+let make_on () ?(name = "ref") v = make ~name v
+let committed r = r.v
+
+(* TSO: a thread sees its own buffered stores (store-to-load
+   forwarding), otherwise the committed value. *)
+let visible_as tid r =
+  let rec find = function
+    | [] -> r.v
+    | (t, v) :: rest -> if t = tid then v else find rest
+  in
+  find r.pend
+
+let visible r = visible_as !Vstate.cur_tid r
+let point desc = Effect.perform (Vstate.Op desc)
+
+let my_thread () =
+  let run = Vstate.the_run () in
+  run.threads.(!Vstate.cur_tid)
+
+let drain_own_buffer () =
+  let th = my_thread () in
+  Queue.iter (fun (_, commit) -> commit ()) th.buffer;
+  Queue.clear th.buffer
+
+let commit_direct r v =
+  drain_own_buffer ();
+  r.v <- v;
+  Vstate.bump_writes ()
+
+let buffered_store r v =
+  let tid = !Vstate.cur_tid in
+  let th = my_thread () in
+  r.pend <- (tid, v) :: r.pend;
+  let commit () =
+    r.v <- v;
+    Vstate.bump_writes ();
+    (* commits are FIFO per thread, so retire this thread's oldest
+       (deepest) entry — [pend] is newest-first *)
+    let rec drop_oldest = function
+      | [] -> ([], false)
+      | ((t, _) as e) :: rest ->
+          let rest', removed = drop_oldest rest in
+          if removed then (e :: rest', true)
+          else if t = tid then (rest', true)
+          else (e :: rest', false)
+    in
+    r.pend <- fst (drop_oldest r.pend)
+  in
+  Queue.add ("flush " ^ r.name, commit) th.buffer
+
+let load ?o:_ r =
+  point ("load " ^ r.name);
+  visible r
+
+let store ?(o = Clof_atomics.Memory_order.Seq_cst) ?rmw:_ r v =
+  point ("store " ^ r.name);
+  let run = Vstate.the_run () in
+  match (run.mode, o) with
+  | Vstate.Sc, _ | Vstate.Tso, Clof_atomics.Memory_order.Seq_cst ->
+      commit_direct r v
+  | Vstate.Tso, (Relaxed | Acquire | Release) -> buffered_store r v
+
+let cas r ~expected ~desired =
+  point ("cas " ^ r.name);
+  drain_own_buffer ();
+  if r.v == expected then begin
+    r.v <- desired;
+    Vstate.bump_writes ();
+    true
+  end
+  else false
+
+let exchange r v =
+  point ("xchg " ^ r.name);
+  drain_own_buffer ();
+  let old = r.v in
+  r.v <- v;
+  Vstate.bump_writes ();
+  old
+
+let fetch_add r n =
+  point ("faa " ^ r.name);
+  drain_own_buffer ();
+  let old = r.v in
+  r.v <- old + n;
+  Vstate.bump_writes ();
+  old
+
+let await ?rmw:_ r pred =
+  let tid = !Vstate.cur_tid in
+  let enabled () = pred (visible_as tid r) in
+  let rec go () =
+    Effect.perform (Vstate.Await_op ("await " ^ r.name, enabled));
+    let v = visible r in
+    if pred v then v else go ()
+  in
+  go ()
+
+let fence () =
+  point "fence";
+  drain_own_buffer ()
+
+let pause () = Effect.perform Vstate.Pause_op

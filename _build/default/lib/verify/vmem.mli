@@ -1,0 +1,13 @@
+(** [MEMORY] over the systematic concurrency checker.
+
+    Every operation is a scheduling point of {!Checker}; in TSO mode
+    plain and release stores go to a per-thread store buffer whose
+    flushes are explored as separate actions, which is how the checker
+    finds store-buffering bugs (the unfenced-Peterson exhibit). Must be
+    used inside {!Checker.check} scenarios. *)
+
+include Clof_atomics.Memory_intf.S
+
+val committed : 'a aref -> 'a
+(** The globally visible value, ignoring store buffers (assertions at
+    the end of an execution). *)

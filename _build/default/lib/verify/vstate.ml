@@ -1,0 +1,60 @@
+(** Internal shared state between {!Vmem} and {!Checker}: the current
+    exploration run, the effects that turn memory operations into
+    scheduling points, and the thread records. *)
+
+type _ Effect.t +=
+  | Op : string -> unit Effect.t  (** a visible memory operation *)
+  | Await_op : string * (unit -> bool) -> unit Effect.t
+      (** spinloop: enabled exactly when the predicate holds *)
+  | Pause_op : unit Effect.t
+
+exception Prop_violation of string
+(** Raised inside a scenario thread when a checked property (mutual
+    exclusion, context invariant, user assertion) fails. *)
+
+type mode = Sc | Tso
+
+type status =
+  | Not_started of (unit -> unit)
+  | Ready of string * (unit -> unit)
+  | Waiting of string * (unit -> bool) * (unit -> unit)
+  | Finished
+
+type thread = {
+  tid : int;
+  mutable status : status;
+  buffer : (string * (unit -> unit)) Queue.t;
+      (* store buffer: (description, commit-to-memory) in FIFO order *)
+  mutable steps : int;
+  mutable window_steps : int;
+      (* steps taken since the last globally visible write *)
+}
+
+type run = {
+  mode : mode;
+  mutable threads : thread array;
+  mutable in_cs : int;
+  mutable trace : (int * string) list; (* newest first *)
+  mutable writes : int;
+      (* globally visible writes so far: wakes paused spinners *)
+  mutable steps_since_write : int;
+      (* watchdog for spinloops that can never be released *)
+}
+
+let current : run option ref = ref None
+
+let bump_writes () =
+  match !current with
+  | None -> ()
+  | Some r ->
+      r.writes <- r.writes + 1;
+      r.steps_since_write <- 0;
+      Array.iter (fun th -> th.window_steps <- 0) r.threads
+
+let the_run () =
+  match !current with
+  | Some r -> r
+  | None -> failwith "Clof_verify: memory operation outside Checker.check"
+
+(* tid of the fiber currently executing; -1 in the scheduler *)
+let cur_tid = ref (-1)

@@ -1,0 +1,1 @@
+lib/workloads/pingpong.ml: Clof_sim

@@ -1,0 +1,1 @@
+lib/workloads/pingpong.mli: Clof_topology

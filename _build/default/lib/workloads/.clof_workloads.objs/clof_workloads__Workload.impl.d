@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Clof_core Clof_sim Clof_topology Platform Printf Random Topology

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Clof_core Clof_topology

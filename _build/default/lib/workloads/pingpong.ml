@@ -1,0 +1,19 @@
+module M = Clof_sim.Sim_mem
+module E = Clof_sim.Engine
+
+let throughput ?(duration = 200_000) ~platform cpu1 cpu2 =
+  let c = M.make ~name:"pingpong" 0 in
+  let iters = ref 0 in
+  let body parity _tid =
+    while E.running () do
+      let v = M.await c (fun v -> v mod 2 = parity) in
+      M.store c (v + 1);
+      incr iters
+    done
+  in
+  let o =
+    E.run ~duration ~platform
+      ~threads:[ (cpu1, body 0); (cpu2, body 1) ]
+      ()
+  in
+  1000.0 *. float_of_int !iters /. float_of_int (max 1 o.end_time)

@@ -1,0 +1,13 @@
+(** The hierarchy-discovery micro-benchmark of Section 3.1: two threads
+    take turns incrementing a shared counter — Thread 1 waits for it to
+    be even, Thread 2 for it to be odd — and the throughput of the pair
+    reveals the innermost hierarchy level the two CPUs share. *)
+
+val throughput :
+  ?duration:int ->
+  platform:Clof_topology.Platform.t ->
+  int ->
+  int ->
+  float
+(** [throughput ~platform cpu1 cpu2]: increments per simulated
+    microsecond for the pair (default duration 200 us). *)

@@ -1,0 +1,125 @@
+module M = Clof_sim.Sim_mem
+module E = Clof_sim.Engine
+open Clof_topology
+
+type params = {
+  duration : int;
+  cs_reads : int;
+  cs_writes : int;
+  cs_work : int;
+  noncs_work : int;
+}
+
+let dram_read = 90
+
+let leveldb =
+  {
+    duration = 400_000;
+    cs_reads = 4;
+    cs_writes = 3;
+    cs_work = 80;
+    noncs_work = 2200;
+  }
+
+let kyoto =
+  {
+    duration = 600_000;
+    cs_reads = 12;
+    cs_writes = 6;
+    cs_work = 2000;
+    noncs_work = 26_000;
+  }
+
+type result = {
+  lock : string;
+  nthreads : int;
+  total_ops : int;
+  per_thread : int array;
+  sim_ns : int;
+  throughput : float;
+  hung : bool;
+  aborted : bool;
+  transfers : (Clof_topology.Level.proximity * int) list;
+}
+
+exception Lock_failure of string
+
+let run_on_cpus ?(check = true) ~platform ~cpus ~spec
+    (p : params) =
+  let topo = platform.Platform.topo in
+  let lock = spec.Clof_core.Runtime.instantiate topo in
+  let nthreads = Array.length cpus in
+  let hot = Array.init (max 1 p.cs_writes) (fun i ->
+      M.make ~name:(Printf.sprintf "hot.%d" i) 0)
+  in
+  (* index reads miss to memory: the store is far larger than any
+     cache, and those misses are independent of lock handover locality *)
+  let read_work = p.cs_reads * dram_read in
+  let counts = Array.make nthreads 0 in
+  let in_cs = ref 0 in
+  let violated = ref false in
+  let body cpu tid =
+    let h = lock.Clof_core.Runtime.handle ~cpu in
+    let rng = Random.State.make [| 0x5eed; tid; cpu |] in
+    (* Heterogeneous thread rates and a staggered start keep the queue
+       order mixing; without them FIFO locks settle into a stable
+       neighbour-to-neighbour rotation no real workload exhibits. *)
+    let rate = 0.6 +. Random.State.float rng 0.8 in
+    let think () =
+      if p.noncs_work > 0 then
+        E.work
+          (int_of_float
+             (rate
+             *. float_of_int
+                  ((p.noncs_work / 2) + Random.State.int rng p.noncs_work)))
+    in
+    think ();
+    while E.running () do
+      h.Clof_core.Runtime.acquire ();
+      incr in_cs;
+      if !in_cs <> 1 then violated := true;
+      if read_work > 0 then E.work read_work;
+      for j = 0 to p.cs_writes - 1 do
+        M.store hot.(j) tid
+      done;
+      if p.cs_work > 0 then E.work p.cs_work;
+      decr in_cs;
+      h.Clof_core.Runtime.release ();
+      think ();
+      counts.(tid) <- counts.(tid) + 1
+    done
+  in
+  let threads =
+    Array.to_list (Array.map (fun cpu -> (cpu, body cpu)) cpus)
+  in
+  let o = E.run ~duration:p.duration ~platform ~threads () in
+  if check then begin
+    if !violated then
+      raise
+        (Lock_failure
+           (Printf.sprintf "%s: mutual exclusion violated" lock.l_name));
+    if o.hung then
+      raise
+        (Lock_failure (Printf.sprintf "%s: benchmark hung" lock.l_name));
+    if o.aborted then
+      raise
+        (Lock_failure
+           (Printf.sprintf "%s: benchmark livelocked" lock.l_name))
+  end;
+  let total_ops = Array.fold_left ( + ) 0 counts in
+  let sim_ns = max 1 o.end_time in
+  {
+    lock = lock.l_name;
+    nthreads;
+    total_ops;
+    per_thread = counts;
+    sim_ns;
+    throughput = 1000.0 *. float_of_int total_ops /. float_of_int sim_ns;
+    hung = o.hung;
+    aborted = o.aborted;
+    transfers = o.E.transfers;
+  }
+
+let run ?check ~platform ~nthreads ~spec p =
+  let cpus = Topology.pick_cpus platform.Platform.topo ~nthreads in
+  run_on_cpus ?check ~platform ~cpus ~spec p

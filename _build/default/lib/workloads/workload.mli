@@ -1,0 +1,70 @@
+(** Lock-benchmark harness: a configurable critical-section workload
+    run on the NUMA simulator — the substitute for the paper's LevelDB
+    and Kyoto Cabinet benchmarks (Section 5.1.2 and DESIGN.md).
+
+    Each thread loops: acquire the lock under test, read some shared
+    index lines and update the workload's hot lines plus some compute
+    (the critical section), release, then think. The hot lines written
+    under the lock are what rewards NUMA-local handover: their transfer
+    cost depends on where the previous owner ran. *)
+
+type params = {
+  duration : int;  (** simulated ns *)
+  cs_reads : int;
+      (** index reads per operation; each costs a fixed memory-read
+          latency (the store dwarfs the caches, and read misses are
+          independent of lock-handover locality) *)
+  cs_writes : int;  (** hot lines written per operation *)
+  cs_work : int;  (** ns of compute inside the critical section *)
+  noncs_work : int;  (** mean ns of think time (jittered +/-50%) *)
+}
+
+val leveldb : params
+(** LevelDB "readrandom": short critical section dominated by index
+    reads and a couple of state updates, think time a few times the CS
+    — the paper's primary benchmark (throughput ~1 op/us at peak). *)
+
+val kyoto : params
+(** Kyoto Cabinet: roughly 10x longer critical section (throughput
+    ~0.1 op/us, matching Figure 10's scale), used as the
+    cross-validation benchmark. *)
+
+type result = {
+  lock : string;
+  nthreads : int;
+  total_ops : int;
+  per_thread : int array;
+  sim_ns : int;
+  throughput : float;  (** operations per simulated microsecond *)
+  hung : bool;
+  aborted : bool;
+  transfers : (Clof_topology.Level.proximity * int) list;
+      (** cache-line transfers by distance class during the run — the
+          direct measurement of handover locality *)
+}
+
+exception Lock_failure of string
+(** Raised when the lock under test hangs or livelocks the benchmark. *)
+
+val run :
+  ?check:bool ->
+  platform:Clof_topology.Platform.t ->
+  nthreads:int ->
+  spec:Clof_core.Runtime.spec ->
+  params ->
+  result
+(** One benchmark run. Threads are pinned via
+    {!Clof_topology.Topology.pick_cpus}. [check] (default true) raises
+    {!Lock_failure} on hang/livelock and on a mutual-exclusion violation
+    observed on a race-detector line incremented inside every critical
+    section. *)
+
+val run_on_cpus :
+  ?check:bool ->
+  platform:Clof_topology.Platform.t ->
+  cpus:int array ->
+  spec:Clof_core.Runtime.spec ->
+  params ->
+  result
+(** Like {!run} but with an explicit CPU pinning (used by the
+    per-cohort benchmark of Figure 3). *)

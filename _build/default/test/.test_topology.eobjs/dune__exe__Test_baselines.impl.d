@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Clof_baselines Clof_core Clof_locks Clof_sim Clof_topology Clof_workloads Level List Platform Printf Topology

@@ -1,0 +1,1 @@
+test/test_clof.ml: Alcotest Array Clof_core Clof_locks Clof_sim Clof_topology Clof_verify Clof_workloads Float Fun Gen List Option Platform Printf QCheck QCheck_alcotest Topology

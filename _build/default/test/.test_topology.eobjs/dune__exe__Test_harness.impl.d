@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Clof_core Clof_harness Clof_topology Clof_workloads Format Level List Platform String Topology

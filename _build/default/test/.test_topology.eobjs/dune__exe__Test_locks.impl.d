@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array Clof_atomics Clof_locks Clof_sim Clof_topology Domain List Option Platform Topology

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Clof_sim Clof_topology Clof_workloads Float Hashtbl List Option Platform Printf QCheck QCheck_alcotest

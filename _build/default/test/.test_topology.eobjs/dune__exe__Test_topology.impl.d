@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Clof_topology Fun Hashtbl Level List Platform QCheck QCheck_alcotest Topology

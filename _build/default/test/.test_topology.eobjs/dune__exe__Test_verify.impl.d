@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Clof_atomics Clof_locks Clof_verify List Option

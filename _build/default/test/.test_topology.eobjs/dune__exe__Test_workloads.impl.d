@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Clof_core Clof_locks Clof_sim Clof_topology Clof_workloads Float Level List Platform Printf

@@ -1,0 +1,185 @@
+open Clof_topology
+module M = Clof_sim.Sim_mem
+module E = Clof_sim.Engine
+module Hmcs = Clof_baselines.Hmcs.Make (M)
+module Cna = Clof_baselines.Cna.Make (M)
+module Shfl = Clof_baselines.Shfllock.Make (M)
+module Cohort = Clof_baselines.Cohort.Make (M)
+module RT = Clof_core.Runtime
+module W = Clof_workloads.Workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let exercise_spec ?(platform = Platform.tiny) ?(nthreads = 16) ?(iters = 100)
+    spec =
+  let lock = spec.RT.instantiate platform.Platform.topo in
+  let counter = ref 0 in
+  let in_cs = ref 0 in
+  let overlaps = ref 0 in
+  let body cpu =
+    let h = lock.RT.handle ~cpu in
+    fun _tid ->
+      for _ = 1 to iters do
+        h.RT.acquire ();
+        incr in_cs;
+        if !in_cs <> 1 then incr overlaps;
+        E.work 15;
+        counter := !counter + 1;
+        decr in_cs;
+        h.RT.release ()
+      done
+  in
+  let cpus = Topology.pick_cpus platform.Platform.topo ~nthreads in
+  let threads =
+    Array.to_list (Array.map (fun cpu -> (cpu, body cpu)) cpus)
+  in
+  let o = E.run ~duration:max_int ~platform ~threads () in
+  (!counter, !overlaps, o)
+
+let check_correct name spec ~nthreads ~iters =
+  let count, overlaps, o = exercise_spec ~nthreads ~iters spec in
+  check_int (name ^ ": count") (nthreads * iters) count;
+  check_int (name ^ ": overlap") 0 overlaps;
+  check_bool (name ^ ": no hang") true (not o.E.hung)
+
+(* ---------- HMCS ---------- *)
+
+let test_hmcs_depths () =
+  List.iter
+    (fun depth ->
+      let spec =
+        Hmcs.spec ~hierarchy:(Platform.hierarchy_of_depth Platform.tiny depth) ()
+      in
+      check_correct
+        (Printf.sprintf "hmcs<%d>" depth)
+        spec ~nthreads:16 ~iters:100)
+    [ 2; 3; 4 ]
+
+let test_hmcs_small_threshold () =
+  let spec = Hmcs.spec ~h:1 ~hierarchy:(Platform.hier4 Platform.tiny) () in
+  check_correct "hmcs h=1" spec ~nthreads:16 ~iters:100
+
+let test_hmcs_single_thread () =
+  let spec = Hmcs.spec ~hierarchy:(Platform.hier2 Platform.tiny) () in
+  check_correct "hmcs 1T" spec ~nthreads:1 ~iters:25
+
+let test_hmcs_rejects_bad_hierarchy () =
+  check_bool "invalid hierarchy rejected" true
+    (try
+       ignore
+         (Hmcs.create ~topo:Platform.tiny.Platform.topo
+            ~hierarchy:[ Level.Numa_node ] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_hmcs_spec_name () =
+  Alcotest.(check string)
+    "name" "hmcs<3>"
+    (Hmcs.spec ~hierarchy:(Platform.hier3 Platform.tiny) ()).RT.s_name
+
+(* ---------- CNA ---------- *)
+
+let test_cna_correct () =
+  check_correct "cna" (Cna.spec ()) ~nthreads:16 ~iters:150
+
+let test_cna_tiny_budget () =
+  (* splices constantly; correctness must not depend on the budget *)
+  check_correct "cna h=1" (Cna.spec ~h:1 ()) ~nthreads:16 ~iters:100
+
+let test_cna_single_thread () =
+  check_correct "cna 1T" (Cna.spec ()) ~nthreads:1 ~iters:50
+
+let test_cna_no_starvation () =
+  (* every thread must complete its iterations (the benchmark only
+     terminates if none starves), with waiters from two NUMA nodes *)
+  check_correct "cna all make progress" (Cna.spec ~h:4 ()) ~nthreads:8
+    ~iters:200
+
+(* ---------- ShflLock ---------- *)
+
+let test_shfl_correct () =
+  check_correct "shfl" (Shfl.spec ()) ~nthreads:16 ~iters:150
+
+let test_shfl_scan_bounds () =
+  List.iter
+    (fun scan ->
+      check_correct
+        (Printf.sprintf "shfl scan=%d" scan)
+        (Shfl.spec ~scan ())
+        ~nthreads:12 ~iters:80)
+    [ 0; 1; 32 ]
+
+(* ---------- cohort locks ---------- *)
+
+let test_cohort_correct () =
+  List.iter
+    (fun spec -> check_correct spec.RT.s_name spec ~nthreads:16 ~iters:100)
+    Cohort.all
+
+let test_cohort_names () =
+  Alcotest.(check (list string))
+    "names"
+    [ "c-bo-mcs"; "c-mcs-mcs"; "c-tkt-tkt" ]
+    (List.map (fun s -> s.RT.s_name) Cohort.all)
+
+(* ---------- comparative shapes (paper headlines) ---------- *)
+
+let tput ?(nthreads = 95) spec =
+  let r =
+    W.run ~platform:Platform.x86 ~nthreads ~spec
+      { W.leveldb with W.duration = 250_000 }
+  in
+  r.W.throughput
+
+let test_hmcs4_beats_mcs_high_contention () =
+  let hmcs4 = tput (Hmcs.spec ~hierarchy:(Platform.hier4 Platform.x86) ()) in
+  let module R = Clof_locks.Registry.Make (M) in
+  let mcs = tput (RT.of_basic R.mcs) in
+  check_bool
+    (Printf.sprintf "hmcs4 %.3f > mcs %.3f at 95T" hmcs4 mcs)
+    true (hmcs4 > mcs *. 1.2)
+
+let test_hmcs4_beats_hmcs2 () =
+  let h4 = tput (Hmcs.spec ~hierarchy:(Platform.hier4 Platform.x86) ()) in
+  let h2 = tput (Hmcs.spec ~hierarchy:(Platform.hier2 Platform.x86) ()) in
+  check_bool
+    (Printf.sprintf "hmcs4 %.3f > hmcs2 %.3f" h4 h2)
+    true (h4 > h2)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "hmcs",
+        [
+          Alcotest.test_case "depths 2-4" `Quick test_hmcs_depths;
+          Alcotest.test_case "h=1" `Quick test_hmcs_small_threshold;
+          Alcotest.test_case "single thread" `Quick test_hmcs_single_thread;
+          Alcotest.test_case "bad hierarchy" `Quick
+            test_hmcs_rejects_bad_hierarchy;
+          Alcotest.test_case "spec name" `Quick test_hmcs_spec_name;
+        ] );
+      ( "cna",
+        [
+          Alcotest.test_case "correct" `Quick test_cna_correct;
+          Alcotest.test_case "tiny budget" `Quick test_cna_tiny_budget;
+          Alcotest.test_case "single thread" `Quick test_cna_single_thread;
+          Alcotest.test_case "no starvation" `Quick test_cna_no_starvation;
+        ] );
+      ( "shfllock",
+        [
+          Alcotest.test_case "correct" `Quick test_shfl_correct;
+          Alcotest.test_case "scan bounds" `Quick test_shfl_scan_bounds;
+        ] );
+      ( "cohort",
+        [
+          Alcotest.test_case "correct" `Quick test_cohort_correct;
+          Alcotest.test_case "names" `Quick test_cohort_names;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "hmcs4 > mcs at high contention" `Slow
+            test_hmcs4_beats_mcs_high_contention;
+          Alcotest.test_case "hmcs4 > hmcs2" `Slow test_hmcs4_beats_hmcs2;
+        ] );
+    ]

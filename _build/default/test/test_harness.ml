@@ -1,0 +1,163 @@
+open Clof_topology
+module H = Clof_harness.Heatmap
+module Render = Clof_harness.Render
+module Scripted = Clof_harness.Scripted
+module Sel = Clof_core.Selection
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- render ---------- *)
+
+let test_table_render () =
+  let s =
+    Render.table ~header:[ "lock"; "1"; "8" ]
+      ~rows:[ ("mcs", [ 1.5; 0.25 ]); ("a-very-long-name", [ 0.0; 2.0 ]) ]
+  in
+  check_bool "header present" true
+    (String.length s > 0 && String.sub s 0 4 = "lock");
+  check_bool "contains value" true
+    (let re = "1.500" in
+     let rec find i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+let test_csv_render () =
+  let s =
+    Render.csv ~header:[ "lock"; "1" ] ~rows:[ ("mcs", [ 0.5 ]) ]
+  in
+  Alcotest.(check string) "csv" "lock,1\nmcs,0.5\n" s
+
+let test_heatmap_render () =
+  let s = Render.heatmap (fun i j -> float_of_int (i + j + 1)) ~n:8 in
+  check_int "8 lines" 8
+    (List.length (String.split_on_char '\n' (String.trim s)))
+
+let test_section () =
+  Alcotest.(check string) "banner" "\nhi\n==\n" (Render.section "hi")
+
+(* ---------- heatmap discovery on small machines ---------- *)
+
+let test_heatmap_tiny () =
+  let h = H.measure ~duration:60_000 ~platform:Platform.tiny () in
+  let sp = H.speedups h in
+  check_bool "system class present" true
+    (List.mem_assoc Level.Same_system sp);
+  List.iter
+    (fun (p, s) ->
+      if p <> Level.Same_cpu then
+        check_bool
+          (Level.proximity_to_string p ^ " >= system")
+          true (s >= 0.99))
+    sp
+
+let test_infer_presets () =
+  (* the headline: discovery reproduces the paper's 4-level hierarchies *)
+  List.iter
+    (fun (p, stride) ->
+      let h = H.measure ~duration:60_000 ~stride ~platform:p () in
+      Alcotest.(check string)
+        ("inferred hierarchy " ^ Topology.name p.Platform.topo)
+        (Topology.hierarchy_to_string (Platform.hier4 p))
+        (Topology.hierarchy_to_string (H.infer_hierarchy h)))
+    [ (Platform.x86, 5); (Platform.armv8, 7) ]
+
+let test_paper_speedups_table () =
+  check_int "x86 rows" 5 (List.length (H.paper_speedups Platform.x86));
+  check_int "arm rows" 4 (List.length (H.paper_speedups Platform.armv8))
+
+(* ---------- scripted benchmark ---------- *)
+
+let test_scripted_tiny () =
+  let s =
+    Scripted.run
+      ~params:
+        {
+          Clof_workloads.Workload.duration = 60_000;
+          cs_reads = 1;
+          cs_writes = 1;
+          cs_work = 50;
+          noncs_work = 300;
+        }
+      ~threadcounts:[ 2; 8 ] ~platform:Platform.tiny ~depth:2 ()
+  in
+  check_int "16 compositions" 16 (List.length s.Scripted.series);
+  let hc = Scripted.hc_best s and lc = Scripted.lc_best s in
+  check_bool "bests are ranked members" true
+    (List.exists (fun x -> x.Sel.lock = hc.Sel.lock) s.Scripted.series
+    && List.exists (fun x -> x.Sel.lock = lc.Sel.lock) s.Scripted.series);
+  let w = Scripted.worst s in
+  check_bool "worst scores below best" true
+    (Sel.score Sel.High_contention w.Sel.points
+    <= Sel.score Sel.High_contention hc.Sel.points)
+
+let test_spec_of_name () =
+  let spec =
+    Scripted.spec_of_name ~platform:Platform.tiny ~depth:2 "tkt-mcs"
+  in
+  Alcotest.(check string) "name" "tkt-mcs" spec.Clof_core.Runtime.s_name;
+  check_bool "unknown rejected" true
+    (try
+       ignore
+         (Scripted.spec_of_name ~platform:Platform.tiny ~depth:2 "xxx-yyy");
+       false
+     with Invalid_argument _ -> true)
+
+let test_grids () =
+  check_int "x86 max" 95
+    (List.fold_left max 0 (Scripted.thread_grid Platform.x86));
+  check_int "arm max" 127
+    (List.fold_left max 0 (Scripted.thread_grid Platform.armv8));
+  check_bool "ctr on x86 only" true
+    (Scripted.ctr_for Platform.x86 && not (Scripted.ctr_for Platform.armv8))
+
+(* ---------- experiments plumbing ---------- *)
+
+let test_experiment_ids () =
+  let ids = List.map fst Clof_harness.Experiments.ids in
+  List.iter
+    (fun required ->
+      check_bool ("has " ^ required) true (List.mem required ids))
+    [
+      "table1"; "fig1"; "table2"; "fig2"; "fig3"; "fig4"; "fig9a"; "fig9b";
+      "fig9c"; "fig9d"; "fig10"; "verify"; "verify_scaling"; "fairness";
+    ]
+
+let test_experiment_dispatch () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  check_bool "table1 runs" true (Clof_harness.Experiments.run ppf "table1");
+  Format.pp_print_flush ppf ();
+  check_bool "produced output" true (Buffer.length buf > 100);
+  check_bool "unknown id" false (Clof_harness.Experiments.run ppf "nope")
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "csv" `Quick test_csv_render;
+          Alcotest.test_case "heatmap" `Quick test_heatmap_render;
+          Alcotest.test_case "section" `Quick test_section;
+        ] );
+      ( "heatmap",
+        [
+          Alcotest.test_case "tiny platform" `Quick test_heatmap_tiny;
+          Alcotest.test_case "infer presets" `Slow test_infer_presets;
+          Alcotest.test_case "paper table" `Quick test_paper_speedups_table;
+        ] );
+      ( "scripted",
+        [
+          Alcotest.test_case "tiny sweep" `Slow test_scripted_tiny;
+          Alcotest.test_case "spec_of_name" `Quick test_spec_of_name;
+          Alcotest.test_case "grids" `Quick test_grids;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "ids" `Quick test_experiment_ids;
+          Alcotest.test_case "dispatch" `Quick test_experiment_dispatch;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+open Clof_topology
+module M = Clof_sim.Sim_mem
+module E = Clof_sim.Engine
+module R = Clof_locks.Registry.Make (M)
+module Lock_intf = Clof_locks.Lock_intf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- mutual exclusion and progress on the simulator ---------- *)
+
+let exercise (type a) (packed : a Lock_intf.packed) ~nthreads ~iters =
+  let (module B) = packed in
+  let lock = B.create () in
+  let counter = ref 0 in
+  let overlaps = ref 0 in
+  let in_cs = ref 0 in
+  let body _cpu =
+    let ctx = B.ctx_create lock in
+    fun _tid ->
+      for _ = 1 to iters do
+        B.acquire lock ctx;
+        incr in_cs;
+        if !in_cs <> 1 then incr overlaps;
+        E.work 20;
+        counter := !counter + 1;
+        decr in_cs;
+        B.release lock ctx
+      done
+  in
+  let p = Platform.tiny in
+  let cpus = Topology.pick_cpus p.Platform.topo ~nthreads in
+  let threads =
+    Array.to_list (Array.map (fun cpu -> (cpu, body cpu)) cpus)
+  in
+  let o = E.run ~duration:max_int ~platform:p ~threads () in
+  (!counter, !overlaps, o)
+
+let all_locks () =
+  R.all ~ctr:false @ [ R.hemlock ~label:"hem-ctr" ~ctr:true () ]
+
+let test_mutex_all_locks () =
+  List.iter
+    (fun packed ->
+      let name = Lock_intf.name packed in
+      let count, overlaps, o = exercise packed ~nthreads:8 ~iters:200 in
+      check_int (name ^ ": all increments") 1600 count;
+      check_int (name ^ ": no overlap") 0 overlaps;
+      check_bool (name ^ ": no hang") true (not o.E.hung))
+    (all_locks ())
+
+let test_single_thread_all_locks () =
+  List.iter
+    (fun packed ->
+      let name = Lock_intf.name packed in
+      let count, _, o = exercise packed ~nthreads:1 ~iters:50 in
+      check_int (name ^ ": single thread") 50 count;
+      check_bool (name ^ ": no hang") true (not o.E.hung))
+    (all_locks ())
+
+let test_full_machine () =
+  List.iter
+    (fun packed ->
+      let name = Lock_intf.name packed in
+      let count, overlaps, o = exercise packed ~nthreads:16 ~iters:50 in
+      check_int (name ^ ": 16 threads") 800 count;
+      check_int (name ^ ": no overlap") 0 overlaps;
+      check_bool (name ^ ": no hang") true (not o.E.hung))
+    [ R.ticket; R.mcs; R.clh; R.hemlock ~ctr:false () ]
+
+(* ---------- registry metadata ---------- *)
+
+let test_registry_names () =
+  Alcotest.(check (list string))
+    "basics"
+    [ "tkt"; "mcs"; "clh"; "hem" ]
+    (List.map Lock_intf.name (R.basics ~ctr:false));
+  Alcotest.(check (option string))
+    "find mcs" (Some "mcs")
+    (Option.map Lock_intf.name (R.find ~ctr:false "mcs"));
+  Alcotest.(check (option string)) "find nothing" None
+    (Option.map Lock_intf.name (R.find ~ctr:false "nope"))
+
+let test_fairness_flags () =
+  List.iter
+    (fun (name, expected) ->
+      match R.find ~ctr:false name with
+      | Some p -> check_bool name expected (Lock_intf.is_fair p)
+      | None -> Alcotest.fail ("missing " ^ name))
+    [
+      ("tkt", true);
+      ("mcs", true);
+      ("clh", true);
+      ("hem", true);
+      ("tas", false);
+      ("ttas", false);
+      ("bo", false);
+    ]
+
+let test_hemlock_labels () =
+  Alcotest.(check string)
+    "default label" "hem"
+    (Lock_intf.name (R.hemlock ~ctr:true ()));
+  Alcotest.(check string)
+    "ctr label" "hem-ctr"
+    (Lock_intf.name (R.hemlock ~label:"hem-ctr" ~ctr:true ()))
+
+(* ---------- has_waiters ---------- *)
+
+let test_has_waiters (type a) (packed : a Lock_intf.packed) =
+  let (module B) = packed in
+  match B.has_waiters with
+  | None -> ()
+  | Some hw ->
+      let lock = B.create () in
+      let saw_no_waiter = ref None and saw_waiter = ref None in
+      let owner_ctx = B.ctx_create lock in
+      let waiter_ctx = B.ctx_create lock in
+      let release_now = M.make ~name:"go" false in
+      let threads =
+        [
+          ( 0,
+            fun _ ->
+              B.acquire lock owner_ctx;
+              saw_no_waiter := Some (hw lock owner_ctx);
+              (* let the second thread enqueue, then look again *)
+              ignore (M.await release_now (fun b -> b));
+              E.work 1000;
+              saw_waiter := Some (hw lock owner_ctx);
+              B.release lock owner_ctx );
+          ( 1,
+            fun _ ->
+              (* long delay so the owner's first check happens before we
+                 enqueue, despite its cold-miss latencies *)
+              E.work 5000;
+              M.store release_now true;
+              B.acquire lock waiter_ctx;
+              B.release lock waiter_ctx );
+        ]
+      in
+      let o = E.run ~duration:max_int ~platform:Platform.tiny ~threads () in
+      check_bool (B.name ^ ": no hang") true (not o.E.hung);
+      Alcotest.(check (option bool))
+        (B.name ^ ": no waiter at first")
+        (Some false) !saw_no_waiter;
+      Alcotest.(check (option bool))
+        (B.name ^ ": waiter detected")
+        (Some true) !saw_waiter
+
+let test_has_waiters_all () =
+  List.iter test_has_waiters [ R.ticket; R.mcs; R.clh; R.hemlock ~ctr:false () ]
+
+(* ---------- peterson ---------- *)
+
+let test_peterson_slots () =
+  let module P =
+    Clof_locks.Peterson.Make
+      (M)
+      (struct
+        let fenced = true
+      end)
+  in
+  let l = P.create () in
+  let _ = P.ctx_create l in
+  let _ = P.ctx_create l in
+  Alcotest.check_raises "third context" Clof_locks.Peterson.Too_many_contexts
+    (fun () -> ignore (P.ctx_create l))
+
+let test_peterson_mutex_sim () =
+  let module P =
+    Clof_locks.Peterson.Make
+      (M)
+      (struct
+        let fenced = true
+      end)
+  in
+  let l = P.create () in
+  let counter = ref 0 in
+  let body ctx _tid =
+    for _ = 1 to 100 do
+      P.acquire l ctx;
+      E.work 10;
+      counter := !counter + 1;
+      P.release l ctx
+    done
+  in
+  let c0 = P.ctx_create l and c1 = P.ctx_create l in
+  let o =
+    E.run ~duration:max_int ~platform:Platform.tiny
+      ~threads:[ (0, body c0); (4, body c1) ]
+      ()
+  in
+  check_bool "no hang" true (not o.E.hung && not o.E.aborted);
+  check_int "count" 200 !counter
+
+(* ---------- real domains over Real_mem ---------- *)
+
+module RR = Clof_locks.Registry.Make (Clof_atomics.Real_mem)
+
+let stress_real (type a) (packed : a Lock_intf.packed) =
+  let (module B) = packed in
+  let lock = B.create () in
+  let iters = 20_000 in
+  let counter = ref 0 in
+  let body () =
+    let ctx = B.ctx_create lock in
+    for _ = 1 to iters do
+      B.acquire lock ctx;
+      counter := !counter + 1;
+      B.release lock ctx
+    done
+  in
+  let d = Domain.spawn body in
+  body ();
+  Domain.join d;
+  check_int (B.name ^ ": 2-domain stress") (2 * iters) !counter
+
+let test_real_domains () =
+  List.iter stress_real
+    [ RR.ticket; RR.mcs; RR.clh; RR.hemlock ~ctr:false (); RR.tas; RR.ttas ]
+
+let () =
+  Alcotest.run "locks"
+    [
+      ( "simulated",
+        [
+          Alcotest.test_case "mutex, 8 threads" `Quick test_mutex_all_locks;
+          Alcotest.test_case "single thread" `Quick
+            test_single_thread_all_locks;
+          Alcotest.test_case "full machine" `Quick test_full_machine;
+        ] );
+      ( "metadata",
+        [
+          Alcotest.test_case "registry names" `Quick test_registry_names;
+          Alcotest.test_case "fairness flags" `Quick test_fairness_flags;
+          Alcotest.test_case "hemlock labels" `Quick test_hemlock_labels;
+        ] );
+      ( "has_waiters",
+        [ Alcotest.test_case "all locks" `Quick test_has_waiters_all ] );
+      ( "peterson",
+        [
+          Alcotest.test_case "slots" `Quick test_peterson_slots;
+          Alcotest.test_case "mutex (sim)" `Quick test_peterson_mutex_sim;
+        ] );
+      ( "real-domains",
+        [ Alcotest.test_case "2-domain stress" `Quick test_real_domains ] );
+    ]

@@ -1,0 +1,376 @@
+open Clof_topology
+module E = Clof_sim.Engine
+module M = Clof_sim.Sim_mem
+module Pqueue = Clof_sim.Pqueue
+module Cpuset = Clof_sim.Cpuset
+module Arch = Clof_sim.Arch
+
+let qcheck = QCheck_alcotest.to_alcotest
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- pqueue ---------- *)
+
+let test_pqueue_basic () =
+  let q = Pqueue.create () in
+  check_bool "empty" true (Pqueue.is_empty q);
+  Pqueue.add q 3 "c";
+  Pqueue.add q 1 "a";
+  Pqueue.add q 2 "b";
+  check_int "length" 3 (Pqueue.length q);
+  Alcotest.(check (option (pair int string)))
+    "min" (Some (1, "a")) (Pqueue.pop_min q);
+  Alcotest.(check (option (pair int string)))
+    "next" (Some (2, "b")) (Pqueue.pop_min q);
+  Pqueue.add q 0 "z";
+  Alcotest.(check (option (pair int string)))
+    "reinsert" (Some (0, "z")) (Pqueue.pop_min q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun s -> Pqueue.add q 5 s) [ "first"; "second"; "third" ];
+  Alcotest.(check (option (pair int string)))
+    "fifo" (Some (5, "first")) (Pqueue.pop_min q);
+  Alcotest.(check (option (pair int string)))
+    "fifo2" (Some (5, "second")) (Pqueue.pop_min q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Pqueue.create () in
+      List.iter (fun x -> Pqueue.add q x x) xs;
+      let rec drain acc =
+        match Pqueue.pop_min q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ---------- cpuset ---------- *)
+
+let test_cpuset_basic () =
+  let s = Cpuset.create 128 in
+  check_int "empty" 0 (Cpuset.count s);
+  Cpuset.add s 0;
+  Cpuset.add s 127;
+  Cpuset.add s 63;
+  check_int "count" 3 (Cpuset.count s);
+  check_bool "mem 127" true (Cpuset.mem s 127);
+  check_bool "mem 5" false (Cpuset.mem s 5);
+  Cpuset.remove s 127;
+  check_bool "removed" false (Cpuset.mem s 127);
+  check_int "count_except self" 1 (Cpuset.count_except s 0);
+  Alcotest.(check (list int)) "to_list" [ 0; 63 ] (Cpuset.to_list s);
+  Cpuset.clear s;
+  check_int "cleared" 0 (Cpuset.count s)
+
+let prop_cpuset_model =
+  QCheck.Test.make ~name:"cpuset behaves like a set of ints" ~count:200
+    QCheck.(list (pair bool (int_bound 255)))
+    (fun ops ->
+      let s = Cpuset.create 256 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, c) ->
+          if add then begin
+            Cpuset.add s c;
+            Hashtbl.replace model c ()
+          end
+          else begin
+            Cpuset.remove s c;
+            Hashtbl.remove model c
+          end)
+        ops;
+      Cpuset.count s = Hashtbl.length model
+      && Hashtbl.fold (fun c () acc -> acc && Cpuset.mem s c) model true)
+
+(* ---------- engine ---------- *)
+
+let run_counting ?duration platform threads =
+  E.run ?duration ~platform ~threads ()
+
+let test_engine_work_accounting () =
+  let p = Platform.tiny in
+  let elapsed = ref 0 in
+  let o =
+    run_counting ~duration:max_int p
+      [
+        ( 0,
+          fun _ ->
+            E.work 1000;
+            E.work 500;
+            elapsed := E.now () );
+      ]
+  in
+  check_int "work adds up" 1500 !elapsed;
+  check_bool "not hung" true (not o.E.hung)
+
+let test_engine_same_cpu_timeshare () =
+  (* two threads on one cpu serialize and pay context switches *)
+  let p = Platform.tiny in
+  let t1 = ref 0 and t2 = ref 0 in
+  let body r _ =
+    E.work 100;
+    r := E.now ()
+  in
+  let o =
+    run_counting ~duration:max_int p [ (0, body t1); (0, body t2) ]
+  in
+  check_bool "second thread delayed past first" true (!t2 > !t1);
+  check_bool "context switch charged" true
+    (!t2 >= 200 + (Arch.of_arch Platform.X86).Arch.ctx_switch);
+  check_bool "not hung" true (not o.E.hung)
+
+let test_engine_deadlock_detection () =
+  let p = Platform.tiny in
+  let r = M.make ~name:"never" false in
+  let o =
+    run_counting ~duration:max_int p
+      [ (0, fun _ -> ignore (M.await r (fun b -> b))) ]
+  in
+  check_bool "hung" true o.E.hung;
+  Alcotest.(check (list (pair int string))) "blocked" [ (0, "never") ]
+    o.E.blocked
+
+let test_engine_wakeup () =
+  let p = Platform.tiny in
+  let r = M.make ~name:"flag" false in
+  let woke = ref (-1) in
+  let o =
+    run_counting ~duration:max_int p
+      [
+        ( 0,
+          fun _ ->
+            ignore (M.await r (fun b -> b));
+            woke := E.now () );
+        ( 8,
+          fun _ ->
+            E.work 5000;
+            M.store r true );
+      ]
+  in
+  check_bool "not hung" true (not o.E.hung);
+  check_bool "woken after the store" true (!woke > 5000)
+
+let test_engine_watchdog () =
+  (* a livelock: endless pause loop never checks running() *)
+  let p = Platform.tiny in
+  let o =
+    E.run ~duration:1000 ~platform:p
+      ~threads:
+        [
+          ( 0,
+            fun _ ->
+              let rec forever () =
+                M.pause ();
+                forever ()
+              in
+              forever () );
+        ]
+      ()
+  in
+  check_bool "aborted" true o.E.aborted;
+  check_bool "abort is not a hang" true (not o.E.hung)
+
+let test_engine_running_duration () =
+  let p = Platform.tiny in
+  let iters = ref 0 in
+  ignore
+    (E.run ~duration:10_000 ~platform:p
+       ~threads:
+         [
+           ( 0,
+             fun _ ->
+               while E.running () do
+                 E.work 1000;
+                 incr iters
+               done );
+         ]
+       ());
+  check_int "10 works of 1000ns in 10us" 10 !iters
+
+let test_engine_tid_cpu () =
+  let p = Platform.tiny in
+  let seen = ref [] in
+  ignore
+    (E.run ~duration:max_int ~platform:p
+       ~threads:
+         [
+           (3, fun tid -> seen := (tid, E.tid (), E.cpu ()) :: !seen);
+           (5, fun tid -> seen := (tid, E.tid (), E.cpu ()) :: !seen);
+         ]
+       ());
+  let sorted = List.sort compare !seen in
+  Alcotest.(check (list (triple int int int)))
+    "ids" [ (0, 0, 3); (1, 1, 5) ] sorted
+
+let test_engine_bad_cpu () =
+  Alcotest.check_raises "cpu out of range"
+    (Invalid_argument "Engine.run: cpu 99 out of range") (fun () ->
+      ignore
+        (E.run ~platform:Platform.tiny ~threads:[ (99, fun _ -> ()) ] ()))
+
+(* ---------- sim_mem semantics ---------- *)
+
+let in_sim f =
+  let result = ref None in
+  ignore
+    (E.run ~duration:max_int ~platform:Platform.tiny
+       ~threads:[ (0, fun _ -> result := Some (f ())) ]
+       ());
+  Option.get !result
+
+let test_mem_cas_results () =
+  let a, b, ok1, ok2, final =
+    in_sim (fun () ->
+        let r = M.make ~name:"x" 10 in
+        let a = M.fetch_add r 5 in
+        let b = M.exchange r 100 in
+        let ok1 = M.cas r ~expected:100 ~desired:7 in
+        let ok2 = M.cas r ~expected:100 ~desired:8 in
+        (a, b, ok1, ok2, M.load r))
+  in
+  check_int "faa returns old" 10 a;
+  check_int "exchange returns old" 15 b;
+  check_bool "cas success" true ok1;
+  check_bool "cas failure" false ok2;
+  check_int "final value" 7 final
+
+let test_mem_colocation () =
+  let a = M.make ~name:"a" 0 in
+  let b = M.colocated a ~name:"b" 0 in
+  let c = M.make_on (M.anchor a) ~name:"c" 0 in
+  let d = M.make ~name:"d" 0 in
+  check_bool "colocated shares the line" true (M.line a == M.line b);
+  check_bool "make_on shares the line" true (M.line a == M.line c);
+  check_bool "fresh ref has its own line" true (M.line a != M.line d)
+
+let test_mem_peek () =
+  let r = M.make ~name:"p" 42 in
+  check_int "peek outside sim" 42 (M.peek r)
+
+(* ---------- cost model ---------- *)
+
+let pingpong p c1 c2 =
+  Clof_workloads.Pingpong.throughput ~duration:150_000 ~platform:p c1 c2
+
+let close_to name expected ratio tolerance =
+  check_bool
+    (Printf.sprintf "%s: %.2f vs %.2f" name ratio expected)
+    true
+    (Float.abs (ratio -. expected) /. expected < tolerance)
+
+let test_table2_x86 () =
+  let p = Platform.x86 in
+  let sys = pingpong p 0 24 in
+  close_to "core speedup" 12.18 (pingpong p 0 48 /. sys) 0.15;
+  close_to "cache speedup" 9.07 (pingpong p 0 1 /. sys) 0.15;
+  close_to "numa speedup" 1.54 (pingpong p 0 23 /. sys) 0.15
+
+let test_table2_armv8 () =
+  let p = Platform.armv8 in
+  let sys = pingpong p 0 64 in
+  close_to "cache speedup" 7.04 (pingpong p 0 1 /. sys) 0.15;
+  close_to "numa speedup" 2.98 (pingpong p 0 31 /. sys) 0.15;
+  close_to "package speedup" 1.76 (pingpong p 0 63 /. sys) 0.15
+
+let test_diagonal_slowest () =
+  let p = Platform.x86 in
+  check_bool "same-cpu pair is slowest" true
+    (pingpong p 0 0 < pingpong p 0 24)
+
+let test_spinner_storm_serializes () =
+  (* k threads spinning on one line refetch it one at a time after each
+     write, so the real waiter's wake-up queues behind the decoys:
+     global spinning slows the handover down with the spinner count *)
+  let p = Platform.x86 in
+  let wake_time ndecoys =
+    let flag = M.make ~name:"flag" 0 in
+    let woken_at = ref 0 in
+    let winner =
+      ( 1,
+        fun _ ->
+          ignore (M.await flag (fun v -> v = 1));
+          woken_at := E.now () )
+    in
+    (* decoys wait for values that never come *)
+    let decoys =
+      List.init ndecoys (fun i ->
+          (24 + i, fun _ -> ignore (M.await flag (fun v -> v >= 2))))
+    in
+    let writer =
+      ( 0,
+        fun _ ->
+          E.work 2_000;
+          M.store flag 1 )
+    in
+    ignore
+      (E.run ~duration:max_int ~platform:p
+         ~threads:((winner :: decoys) @ [ writer ])
+         ());
+    !woken_at
+  in
+  check_bool "wake queues behind decoy refetches" true
+    (wake_time 7 > wake_time 0)
+
+let test_line_writes_counted () =
+  let r = M.make ~name:"w" 0 in
+  ignore
+    (E.run ~duration:max_int ~platform:Platform.tiny
+       ~threads:
+         [
+           ( 0,
+             fun _ ->
+               M.store r 1;
+               M.store r 2;
+               ignore (M.fetch_add r 1) );
+         ]
+       ());
+  check_int "three writes" 3 (M.line r).Clof_sim.Line.writes
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_pqueue_basic;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          qcheck prop_pqueue_sorts;
+        ] );
+      ( "cpuset",
+        [
+          Alcotest.test_case "basic" `Quick test_cpuset_basic;
+          qcheck prop_cpuset_model;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "work accounting" `Quick
+            test_engine_work_accounting;
+          Alcotest.test_case "same-cpu timeshare" `Quick
+            test_engine_same_cpu_timeshare;
+          Alcotest.test_case "deadlock detection" `Quick
+            test_engine_deadlock_detection;
+          Alcotest.test_case "wakeup" `Quick test_engine_wakeup;
+          Alcotest.test_case "watchdog" `Quick test_engine_watchdog;
+          Alcotest.test_case "running duration" `Quick
+            test_engine_running_duration;
+          Alcotest.test_case "tid/cpu" `Quick test_engine_tid_cpu;
+          Alcotest.test_case "bad cpu" `Quick test_engine_bad_cpu;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "cas results" `Quick test_mem_cas_results;
+          Alcotest.test_case "colocation" `Quick test_mem_colocation;
+          Alcotest.test_case "peek" `Quick test_mem_peek;
+          Alcotest.test_case "write counter" `Quick test_line_writes_counted;
+          Alcotest.test_case "spinner storm serializes" `Quick
+            test_spinner_storm_serializes;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "table2 x86" `Quick test_table2_x86;
+          Alcotest.test_case "table2 armv8" `Quick test_table2_armv8;
+          Alcotest.test_case "diagonal slowest" `Quick test_diagonal_slowest;
+        ] );
+    ]

@@ -1,0 +1,250 @@
+module C = Clof_verify.Checker
+module V = Clof_verify.Vmem
+module S = Clof_verify.Scenarios
+module Vstate = Clof_verify.Vstate
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let has_violation r = Option.is_some r.C.violation
+
+let violation_kind r =
+  match r.C.violation with
+  | Some (C.Property _, _) -> "property"
+  | Some (C.Deadlock _, _) -> "deadlock"
+  | Some (C.Runaway _, _) -> "runaway"
+  | Some (C.Crash _, _) -> "crash"
+  | None -> "none"
+
+(* ---------- the checker finds seeded bugs ---------- *)
+
+let test_finds_broken_lock () =
+  (* a "lock" that never excludes anyone *)
+  let scenario () =
+    let data = V.make ~name:"data" 0 in
+    List.init 2 (fun _ () ->
+        C.cs_enter ();
+        let v = V.load data in
+        V.store data (v + 1);
+        C.cs_exit ())
+  in
+  let r = C.check ~name:"no-lock" scenario in
+  Alcotest.(check string) "mutex violated" "property" (violation_kind r)
+
+let test_finds_deadlock () =
+  (* classic ABBA with two TAS locks *)
+  let module T = Clof_locks.Tas.Make (V) in
+  let scenario () =
+    let a = T.create () and b = T.create () in
+    let t first second () =
+      T.acquire first ();
+      T.acquire second ();
+      T.release second ();
+      T.release first ()
+    in
+    [ t a b; t b a ]
+  in
+  let r = C.check ~name:"abba" scenario in
+  check_bool "found something" true (has_violation r);
+  (* blocked cas loops show up as deadlock (all awaits disabled) or as
+     runaway spinning, depending on the lock's wait primitive *)
+  check_bool "deadlock or runaway" true
+    (violation_kind r = "deadlock" || violation_kind r = "runaway")
+
+let test_finds_lost_wakeup () =
+  (* waiting for a flag nobody sets *)
+  let scenario () =
+    let flag = V.make ~name:"flag" false in
+    [ (fun () -> ignore (V.await flag (fun b -> b))) ]
+  in
+  let r = C.check ~name:"lost-wakeup" scenario in
+  Alcotest.(check string) "deadlock" "deadlock" (violation_kind r)
+
+let test_finds_assertion () =
+  let scenario () =
+    [ (fun () -> raise (Vstate.Prop_violation "boom")) ]
+  in
+  let r = C.check ~name:"assert" scenario in
+  Alcotest.(check string) "property" "property" (violation_kind r)
+
+(* ---------- store-buffer litmus (TSO vs SC) ---------- *)
+
+let sb_litmus outcomes () =
+  let x = V.make ~name:"x" 0 and y = V.make ~name:"y" 0 in
+  let r0 = ref (-1) and r1 = ref (-1) in
+  let done0 = ref false and done1 = ref false in
+  let record () =
+    if !done0 && !done1 then outcomes := (!r0, !r1) :: !outcomes
+  in
+  [
+    (fun () ->
+      V.store ~o:Clof_atomics.Memory_order.Release x 1;
+      r0 := V.load y;
+      done0 := true;
+      record ());
+    (fun () ->
+      V.store ~o:Clof_atomics.Memory_order.Release y 1;
+      r1 := V.load x;
+      done1 := true;
+      record ());
+  ]
+
+let test_sb_reachable_under_tso () =
+  let outcomes = ref [] in
+  let cfg = { (C.tso ~preemptions:2 ~delays:4 ()) with C.max_executions = 5_000 } in
+  let r = C.check ~config:cfg ~name:"sb-tso" (sb_litmus outcomes) in
+  check_bool "no violation" false (has_violation r);
+  check_bool "r0=r1=0 reachable under TSO" true
+    (List.mem (0, 0) !outcomes)
+
+let test_sb_unreachable_under_sc () =
+  let outcomes = ref [] in
+  let cfg = { (C.sc ~preemptions:(-1) ()) with C.max_executions = 50_000 } in
+  let r = C.check ~config:cfg ~name:"sb-sc" (sb_litmus outcomes) in
+  check_bool "exhausted" false r.C.truncated;
+  check_bool "no violation" false (has_violation r);
+  check_bool "r0=r1=0 NOT reachable under SC" false
+    (List.mem (0, 0) !outcomes)
+
+let mp_litmus outcomes () =
+  (* message passing: under TSO (FIFO store buffers) the reader cannot
+     see the flag without the data *)
+  let data = V.make ~name:"data" 0 and flag = V.make ~name:"flag" 0 in
+  [
+    (fun () ->
+      V.store ~o:Clof_atomics.Memory_order.Relaxed data 42;
+      V.store ~o:Clof_atomics.Memory_order.Release flag 1);
+    (fun () ->
+      let f = V.load flag in
+      let d = V.load data in
+      outcomes := (f, d) :: !outcomes);
+  ]
+
+let test_mp_forbidden_under_tso () =
+  let outcomes = ref [] in
+  let cfg =
+    { (C.tso ~preemptions:(-1) ~delays:(-1) ()) with C.max_executions = 30_000 }
+  in
+  let r = C.check ~config:cfg ~name:"mp-tso" (mp_litmus outcomes) in
+  check_bool "no violation" false (has_violation r);
+  check_bool "saw the message" true (List.mem (1, 42) !outcomes);
+  check_bool "flag never outruns data (FIFO buffers)" false
+    (List.mem (1, 0) !outcomes)
+
+(* ---------- paper scenarios ---------- *)
+
+let test_base_steps_sc () =
+  List.iter
+    (fun lock ->
+      match S.base_step ~threads:2 ~iters:2 ~mode:Vstate.Sc lock with
+      | None -> Alcotest.fail ("unknown lock " ^ lock)
+      | Some n ->
+          let r = S.run n in
+          check_bool (lock ^ " sc clean") false (has_violation r))
+    [ "tkt"; "mcs"; "clh"; "hem"; "tas"; "ttas"; "bo" ]
+
+let test_base_steps_tso () =
+  List.iter
+    (fun lock ->
+      match S.base_step ~threads:2 ~iters:1 ~mode:Vstate.Tso lock with
+      | None -> Alcotest.fail ("unknown lock " ^ lock)
+      | Some n ->
+          let r = S.run n in
+          check_bool (lock ^ " tso clean") false (has_violation r))
+    [ "tkt"; "mcs"; "clh"; "hem" ]
+
+let test_induction_step () =
+  List.iter
+    (fun mode ->
+      let n = S.induction_step ~depth:2 ~mode () in
+      let r = S.run n in
+      check_bool
+        (n.S.sname ^ " clean")
+        false (has_violation r))
+    [ Vstate.Sc; Vstate.Tso ]
+
+let test_peterson_exhibit () =
+  let good = S.run (S.peterson ~fenced:true ~mode:Vstate.Tso) in
+  check_bool "fenced peterson survives TSO" false (has_violation good);
+  let bad = S.run (S.peterson ~fenced:false ~mode:Vstate.Tso) in
+  Alcotest.(check string)
+    "unfenced peterson broken under TSO" "property" (violation_kind bad);
+  let sc = S.run (S.peterson ~fenced:false ~mode:Vstate.Sc) in
+  check_bool "unfenced peterson fine under SC" false (has_violation sc)
+
+let test_unknown_lock () =
+  check_bool "unknown" true (S.base_step ~mode:Vstate.Sc "bogus" = None)
+
+let test_scaling_grows () =
+  let results = S.scaling ~max_depth:2 () in
+  check_int "two depths" 2 (List.length results);
+  let execs d = (List.assoc d results).C.executions in
+  check_bool "deeper explores more" true (execs 2 > execs 1);
+  List.iter
+    (fun (_, r) -> check_bool "clean" false (has_violation r))
+    results
+
+(* ---------- checker internals ---------- *)
+
+let test_report_counts () =
+  let scenario () = [ (fun () -> V.store (V.make ~name:"x" 0) 1) ] in
+  let r = C.check ~name:"tiny" scenario in
+  check_int "one schedule for one thread" 1 r.C.executions;
+  check_bool "steps counted" true (r.C.steps >= 1)
+
+let test_runaway_detection () =
+  let scenario () =
+    let x = V.make ~name:"x" 0 in
+    [
+      (fun () ->
+        (* unbounded polling loop that no schedule can satisfy *)
+        let rec go () =
+          if V.load x = 0 then begin
+            V.pause ();
+            go ()
+          end
+        in
+        go ());
+    ]
+  in
+  let cfg = { C.default with C.max_steps = 50 } in
+  let r = C.check ~config:cfg ~name:"spin" scenario in
+  check_bool "caught" true
+    (violation_kind r = "runaway" || violation_kind r = "deadlock")
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "seeded-bugs",
+        [
+          Alcotest.test_case "broken lock" `Quick test_finds_broken_lock;
+          Alcotest.test_case "ABBA deadlock" `Quick test_finds_deadlock;
+          Alcotest.test_case "lost wakeup" `Quick test_finds_lost_wakeup;
+          Alcotest.test_case "assertion" `Quick test_finds_assertion;
+        ] );
+      ( "litmus",
+        [
+          Alcotest.test_case "SB reachable under TSO" `Quick
+            test_sb_reachable_under_tso;
+          Alcotest.test_case "SB unreachable under SC" `Quick
+            test_sb_unreachable_under_sc;
+          Alcotest.test_case "MP forbidden under TSO" `Quick
+            test_mp_forbidden_under_tso;
+        ] );
+      ( "paper",
+        [
+          Alcotest.test_case "base steps (SC)" `Slow test_base_steps_sc;
+          Alcotest.test_case "base steps (TSO)" `Slow test_base_steps_tso;
+          Alcotest.test_case "induction step" `Slow test_induction_step;
+          Alcotest.test_case "peterson exhibit" `Quick
+            test_peterson_exhibit;
+          Alcotest.test_case "unknown lock" `Quick test_unknown_lock;
+          Alcotest.test_case "scaling grows" `Slow test_scaling_grows;
+        ] );
+      ( "internals",
+        [
+          Alcotest.test_case "report counts" `Quick test_report_counts;
+          Alcotest.test_case "runaway detection" `Quick
+            test_runaway_detection;
+        ] );
+    ]
