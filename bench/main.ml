@@ -31,7 +31,7 @@ let clof_test name =
       (Option.get (RG.of_name ~basics:(RR.basics ~ctr:true) name))
   in
   let lock = spec.RT.instantiate Platform.x86.Platform.topo in
-  let h = lock.RT.handle ~cpu:0 in
+  let h = lock.RT.handle ~cpu:0 () in
   Test.make
     ~name:("real/clof<4> " ^ name ^ " uncontended")
     (Staged.stage (fun () ->

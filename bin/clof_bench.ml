@@ -1,10 +1,17 @@
 (* Command-line driver: reproduce any table/figure of the paper, or the
-   whole evaluation. `clof_bench list` shows the experiment index. *)
+   whole evaluation. `clof_bench list` shows the experiment index;
+   `clof_bench report` emits the machine-readable JSON report CI
+   archives and diffs with bench_check. *)
 
 let list_experiments () =
   List.iter
     (fun (id, descr) -> Printf.printf "%-16s %s\n" id descr)
-    Clof_harness.Experiments.ids
+    Clof_harness.Experiments.ids;
+  print_newline ();
+  print_endline "report experiments (clof_bench report):";
+  List.iter
+    (fun (id, descr) -> Printf.printf "%-16s %s\n" id descr)
+    Clof_harness.Report.ids
 
 let run_ids quick ids =
   Clof_harness.Experiments.set_quick quick;
@@ -13,18 +20,42 @@ let run_ids quick ids =
   | [] ->
       Clof_harness.Experiments.run_all ppf;
       `Ok ()
-  | ids ->
-      let unknown =
+  | ids -> (
+      (* validate every id up front: a typo at the end of the list must
+         not surface only after the experiments before it already ran *)
+      match
         List.filter
-          (fun id -> not (Clof_harness.Experiments.run ppf id))
+          (fun id -> not (List.mem_assoc id Clof_harness.Experiments.ids))
           ids
-      in
-      if unknown = [] then `Ok ()
-      else
-        `Error
-          ( false,
-            Printf.sprintf "unknown experiment(s): %s (try 'list')"
-              (String.concat ", " unknown) )
+      with
+      | _ :: _ as unknown ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment(s): %s (try 'list')"
+                (String.concat ", " unknown) )
+      | [] ->
+          List.iter
+            (fun id -> ignore (Clof_harness.Experiments.run ppf id))
+            ids;
+          `Ok ())
+
+let report quick out ids =
+  let ids =
+    match ids with [] -> List.map fst Clof_harness.Report.ids | ids -> ids
+  in
+  match Clof_harness.Report.run ~quick ids with
+  | Error msg -> `Error (false, msg)
+  | Ok r -> (
+      let doc = Clof_harness.Report.to_string r in
+      match open_out out with
+      | exception Sys_error msg -> `Error (false, msg)
+      | oc ->
+          output_string oc doc;
+          close_out oc;
+          Printf.printf "wrote %s (%d experiment(s), schema v%d)\n" out
+            (List.length r.Clof_harness.Report.experiments)
+            Clof_harness.Report.schema_version;
+          `Ok ())
 
 open Cmdliner
 
@@ -52,6 +83,29 @@ let list_cmd =
   let doc = "List the available experiments" in
   Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
 
+let report_cmd =
+  let doc =
+    "Benchmark the representative lock panel and write a JSON report \
+     (throughput, fairness, per-level lock statistics per point)"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "bench_report.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REPORT-EXPERIMENT"
+          ~doc:
+            "Report experiment ids ($(b,report-x86), $(b,report-armv8)); \
+             all of them when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(ret (const report $ quick $ out $ ids))
+
 let main =
   let doc =
     "CLoF reproduction: compositional NUMA-aware locks on a simulated \
@@ -60,6 +114,6 @@ let main =
   Cmd.group
     ~default:Term.(ret (const run_ids $ quick $ ids_arg))
     (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
-    [ run_cmd; list_cmd ]
+    [ run_cmd; list_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,10 @@
 module Make (M : Clof_atomics.Memory_intf.S) = struct
+  module Sink = Clof_stats.Stats.Sink
+
+  (* CNA is a two-level NUMA/system lock: record its pass decisions at
+     level 1, matching the NUMA level of a 2-level lock tree *)
+  let stats_level = 1
+
   type msg =
     | Wait
     | Go of {
@@ -20,6 +26,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     mutable sec_head : qnode option;
     mutable sec_tail : qnode option;
     mutable budget : int;
+    mutable sink : Sink.t;
   }
 
   let mk_qnode ?node () =
@@ -33,7 +40,9 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
   let ctx_create _t ~numa =
     let me = mk_qnode ~node:numa () in
     me.numa <- numa;
-    { me; sec_head = None; sec_tail = None; budget = 0 }
+    { me; sec_head = None; sec_tail = None; budget = 0; sink = Sink.null }
+
+  let set_sink ctx sink = ctx.sink <- sink
 
   let acquire t ctx =
     let n = ctx.me in
@@ -41,6 +50,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     M.store ~o:Relaxed n.next None;
     let prev = M.exchange t.tail n in
     if prev != t.nil then begin
+      Sink.contended ctx.sink;
       M.store ~o:Release prev.next (Some n);
       match M.await n.spin (fun m -> m <> Wait) with
       | Go g ->
@@ -50,6 +60,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
       | Wait -> assert false
     end
     else begin
+      Sink.fast_path ctx.sink;
       ctx.sec_head <- None;
       ctx.sec_tail <- None;
       ctx.budget <- t.budget_init
@@ -117,17 +128,31 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
         if ctx.budget > 0 then begin
           match find_local n.numa first with
           | Some (prefix, local_succ) ->
+              Sink.keep_local ctx.sink ~level:stats_level ~kept:true;
+              Sink.handover ctx.sink ~level:stats_level ~local:true;
               push_sec ctx prefix;
               grant ctx local_succ ~budget:(ctx.budget - 1)
-          | None -> splice_then_pass t ctx first
+          | None ->
+              Sink.handover ctx.sink ~level:stats_level ~local:false;
+              splice_then_pass t ctx first
         end
-        else splice_then_pass t ctx first
+        else begin
+          (* pass budget exhausted: the secondary queue must be spliced
+             back even though local waiters may remain *)
+          Sink.keep_local ctx.sink ~level:stats_level ~kept:false;
+          Sink.handover ctx.sink ~level:stats_level ~local:false;
+          splice_then_pass t ctx first
+        end
     | None -> begin
         match ctx.sec_head with
         | None ->
             if M.cas t.tail ~expected:n ~desired:t.nil then ()
-            else splice_then_pass t ctx (await_successor n)
+            else begin
+              Sink.handover ctx.sink ~level:stats_level ~local:false;
+              splice_then_pass t ctx (await_successor n)
+            end
         | Some sh ->
+            Sink.handover ctx.sink ~level:stats_level ~local:false;
             let st = Option.get ctx.sec_tail in
             M.store ~o:Relaxed st.next None;
             if M.cas t.tail ~expected:n ~desired:st then begin
@@ -154,12 +179,15 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           {
             Clof_core.Runtime.l_name = "cna";
             handle =
-              (fun ~cpu ->
+              (fun ?stats ~cpu () ->
                 let numa =
                   Clof_topology.Topology.cohort_of topo
                     Clof_topology.Level.Numa_node cpu
                 in
                 let ctx = ctx_create t ~numa in
+                (match stats with
+                | Some r -> set_sink ctx (Sink.of_recorder r)
+                | None -> ());
                 {
                   Clof_core.Runtime.acquire = (fun () -> acquire t ctx);
                   release = (fun () -> release t ctx);

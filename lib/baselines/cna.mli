@@ -18,6 +18,11 @@ module Make (M : Clof_atomics.Memory_intf.S) : sig
       must be spliced back (default 128). *)
 
   val ctx_create : t -> numa:int -> ctx
+
+  val set_sink : ctx -> Clof_stats.Stats.Sink.t -> unit
+  (** Route pass/budget events from this context to a recorder; CNA
+      records at level 1 (the NUMA level of a 2-level tree). *)
+
   val acquire : t -> ctx -> unit
   val release : t -> ctx -> unit
 

@@ -1,6 +1,8 @@
 open Clof_topology
 
 module Make (M : Clof_atomics.Memory_intf.S) = struct
+  module Sink = Clof_stats.Stats.Sink
+
   (* status values *)
   let wait = -1
   let acquire_parent = -2
@@ -13,16 +15,17 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     parent : hnode option;
     for_parent : qnode;  (* this node's queue node in the parent *)
     threshold : int;
+    lvl : int;  (* distance from the root, for observability *)
   }
 
   type t = { leaves : hnode array; level : Level.t; topo : Topology.t }
-  type ctx = { leaf : hnode; me : qnode }
+  type ctx = { leaf : hnode; me : qnode; mutable sink : Sink.t }
 
   let mk_qnode ?node () =
     let status = M.make ?node ~name:"hmcs.status" wait in
     { status; next = M.colocated status ~name:"hmcs.next" None }
 
-  let mk_hnode ?node ~parent ~threshold () =
+  let mk_hnode ?node ~parent ~threshold ~lvl () =
     let nil = mk_qnode ?node () in
     {
       tail = M.make ?node ~name:"hmcs.tail" nil;
@@ -30,6 +33,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
       parent;
       for_parent = mk_qnode ?node ();
       threshold;
+      lvl;
     }
 
   let numa_of_cohort topo lvl cohort =
@@ -46,7 +50,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
       match levels with
       | [] -> invalid_arg "Hmcs.create: empty hierarchy"
       | [ Level.System ] ->
-          let root = mk_hnode ~node:0 ~parent:None ~threshold:h () in
+          let root = mk_hnode ~node:0 ~parent:None ~threshold:h ~lvl:0 () in
           ([| root |], Level.System)
       | lvl :: rest ->
           let parents, parent_level = build rest in
@@ -62,7 +66,8 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           in
           let mk i =
             let node, parent = node_at i in
-            mk_hnode ~node ~parent:(Some parent) ~threshold:h ()
+            mk_hnode ~node ~parent:(Some parent) ~threshold:h
+              ~lvl:(parent.lvl + 1) ()
           in
           (Array.init ncoh mk, lvl)
     in
@@ -72,7 +77,9 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
   let ctx_create t ~cpu =
     let cohort = Topology.cohort_of t.topo t.level cpu in
     let node = Topology.cohort_of t.topo Level.Numa_node cpu in
-    { leaf = t.leaves.(cohort); me = mk_qnode ~node () }
+    { leaf = t.leaves.(cohort); me = mk_qnode ~node (); sink = Sink.null }
+
+  let set_sink ctx sink = ctx.sink <- sink
 
   let rec acquire_hnode h me =
     M.store ~o:Relaxed me.status wait;
@@ -97,21 +104,29 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     | None -> ()
     | Some p -> acquire_hnode p h.for_parent
 
-  let rec release_hnode h me =
+  let rec release_hnode sink h me =
     let count = M.load ~o:Relaxed me.status in
-    let pass_local succ = M.store ~o:Release succ.status (count + 1) in
-    let pass_global succ = M.store ~o:Release succ.status acquire_parent in
+    let pass_local succ =
+      Sink.keep_local sink ~level:h.lvl ~kept:true;
+      Sink.handover sink ~level:h.lvl ~local:true;
+      M.store ~o:Release succ.status (count + 1)
+    in
+    let pass_global succ =
+      Sink.handover sink ~level:h.lvl ~local:false;
+      M.store ~o:Release succ.status acquire_parent
+    in
     let release_up () =
       match h.parent with
       | None -> ()
-      | Some p -> release_hnode p h.for_parent
+      | Some p -> release_hnode sink p h.for_parent
     in
     if count < h.threshold then begin
       match M.load ~o:Acquire me.next with
       | Some succ -> pass_local succ
       | None ->
           release_up ();
-          if M.cas h.tail ~expected:me ~desired:h.nil then ()
+          if M.cas h.tail ~expected:me ~desired:h.nil then
+            Sink.handover sink ~level:h.lvl ~local:false
           else begin
             let succ = M.await me.next (fun s -> s <> None) in
             match succ with
@@ -123,19 +138,24 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
       (* threshold reached: force the lock up the tree *)
       release_up ();
       match M.load ~o:Acquire me.next with
-      | Some succ -> pass_global succ
+      | Some succ ->
+          Sink.keep_local sink ~level:h.lvl ~kept:false;
+          pass_global succ
       | None ->
-          if M.cas h.tail ~expected:me ~desired:h.nil then ()
+          if M.cas h.tail ~expected:me ~desired:h.nil then
+            Sink.handover sink ~level:h.lvl ~local:false
           else begin
             let succ = M.await me.next (fun s -> s <> None) in
             match succ with
-            | Some s -> pass_global s
+            | Some s ->
+                Sink.keep_local sink ~level:h.lvl ~kept:false;
+                pass_global s
             | None -> assert false
           end
     end
 
   let acquire _t ctx = acquire_hnode ctx.leaf ctx.me
-  let release _t ctx = release_hnode ctx.leaf ctx.me
+  let release _t ctx = release_hnode ctx.sink ctx.leaf ctx.me
 
   let spec ?h ~hierarchy () =
     let name = Printf.sprintf "hmcs<%d>" (List.length hierarchy) in
@@ -147,8 +167,11 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           {
             Clof_core.Runtime.l_name = name;
             handle =
-              (fun ~cpu ->
+              (fun ?stats ~cpu () ->
                 let ctx = ctx_create t ~cpu in
+                (match stats with
+                | Some r -> set_sink ctx (Sink.of_recorder r)
+                | None -> ());
                 {
                   Clof_core.Runtime.acquire = (fun () -> acquire t ctx);
                   release = (fun () -> release t ctx);

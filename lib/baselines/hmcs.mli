@@ -24,6 +24,12 @@ module Make (M : Clof_atomics.Memory_intf.S) : sig
       CLoF's shared default). *)
 
   val ctx_create : t -> cpu:int -> ctx
+
+  val set_sink : ctx -> Clof_stats.Stats.Sink.t -> unit
+  (** Route per-level pass/threshold events from this context to a
+      recorder (levels indexed from the root, as in
+      {!Clof_stats.Stats}). *)
+
   val acquire : t -> ctx -> unit
   val release : t -> ctx -> unit
 

@@ -1,4 +1,9 @@
 module Make (M : Clof_atomics.Memory_intf.S) = struct
+  module Sink = Clof_stats.Stats.Sink
+
+  (* like CNA, a two-level NUMA/system lock: level 1 in the report *)
+  let stats_level = 1
+
   type qnode = {
     head_waiter : bool M.aref;  (* token passed down the queue *)
     next : qnode option M.aref;
@@ -12,7 +17,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     scan : int;
   }
 
-  type ctx = { me : qnode }
+  type ctx = { me : qnode; mutable sink : Sink.t }
 
   let mk_qnode ?node () =
     let head_waiter = M.make ?node ~name:"shfl.head" false in
@@ -34,7 +39,9 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
   let ctx_create _t ~numa =
     let me = mk_qnode ~node:numa () in
     me.numa <- numa;
-    { me }
+    { me; sink = Sink.null }
+
+  let set_sink ctx sink = ctx.sink <- sink
 
   (* Head-waiter shuffle: scan a bounded window behind us and move the
      first fully-linked waiter from our NUMA node to be our immediate
@@ -62,21 +69,28 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     | Some first -> scan n first t.scan
     | None -> ()
 
-  let pass_head_token t n =
+  let pass_head_token sink t n =
+    let token succ =
+      Sink.handover sink ~level:stats_level
+        ~local:(succ.numa = n.numa);
+      M.store ~o:Release succ.head_waiter true
+    in
     match M.load ~o:Acquire n.next with
-    | Some succ -> M.store ~o:Release succ.head_waiter true
+    | Some succ -> token succ
     | None ->
         if M.cas t.tail ~expected:n ~desired:t.nil then ()
         else begin
           match M.await n.next (fun s -> s <> None) with
-          | Some succ -> M.store ~o:Release succ.head_waiter true
+          | Some succ -> token succ
           | None -> assert false
         end
 
   let acquire t ctx =
     (* fast path: uncontended TAS *)
-    if M.cas t.glock ~expected:false ~desired:true then ()
+    if M.cas t.glock ~expected:false ~desired:true then
+      Sink.fast_path ctx.sink
     else begin
+      Sink.contended ctx.sink;
       let n = ctx.me in
       M.store ~o:Relaxed n.head_waiter false;
       M.store ~o:Relaxed n.next None;
@@ -89,10 +103,13 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
       shuffle t n;
       let rec take () =
         ignore (M.await t.glock (fun g -> not g));
-        if not (M.cas t.glock ~expected:false ~desired:true) then take ()
+        if not (M.cas t.glock ~expected:false ~desired:true) then begin
+          Sink.spin ctx.sink 1;
+          take ()
+        end
       in
       take ();
-      pass_head_token t n
+      pass_head_token ctx.sink t n
     end
 
   let release t _ctx = M.store ~o:Release t.glock false
@@ -106,12 +123,15 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           {
             Clof_core.Runtime.l_name = "shfl";
             handle =
-              (fun ~cpu ->
+              (fun ?stats ~cpu () ->
                 let numa =
                   Clof_topology.Topology.cohort_of topo
                     Clof_topology.Level.Numa_node cpu
                 in
                 let ctx = ctx_create t ~numa in
+                (match stats with
+                | Some r -> set_sink ctx (Sink.of_recorder r)
+                | None -> ());
                 {
                   Clof_core.Runtime.acquire = (fun () -> acquire t ctx);
                   release = (fun () -> release t ctx);

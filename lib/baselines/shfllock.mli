@@ -18,6 +18,11 @@ module Make (M : Clof_atomics.Memory_intf.S) : sig
       shuffle (default 8). *)
 
   val ctx_create : t -> numa:int -> ctx
+
+  val set_sink : ctx -> Clof_stats.Stats.Sink.t -> unit
+  (** Route fast-path/shuffle-handover events from this context to a
+      recorder; ShflLock records at level 1, like CNA. *)
+
   val acquire : t -> ctx -> unit
   val release : t -> ctx -> unit
 

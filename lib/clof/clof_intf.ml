@@ -39,6 +39,16 @@ module type S = sig
 
   val ctx_create : t -> cpu:int -> ctx
 
+  val set_sink : ctx -> Clof_stats.Stats.Sink.t -> unit
+  (** Install an observability sink into this context: per-level
+      handover and keep_local events performed through the context are
+      recorded there. Contexts start with {!Clof_stats.Stats.Sink.null}
+      installed, so an uninstrumented lock records nothing and pays one
+      branch per event. The sink travels with lock ownership: composed
+      locks re-install the current owner's sink into the shared
+      higher-level contexts before using them (the context invariant
+      makes this race-free). *)
+
   val acquire : t -> ctx -> unit
   val release : t -> ctx -> unit
 end

@@ -25,6 +25,9 @@ module Base (B : Clof_locks.Lock_intf.S) = struct
     let node = Topology.cohort_of t.topo Level.Numa_node cpu in
     B.ctx_create ~node t.lock
 
+  (* the root basic lock has no cohort passing to observe *)
+  let set_sink _ctx _sink = ()
+
   let acquire t ctx = B.acquire t.lock ctx
   let release t ctx = B.release t.lock ctx
 end
@@ -62,12 +65,19 @@ struct
     mutable got_passed : bool;
         (* whether the high lock arrived by intra-cohort passing; also
            tells release whether the pass flag needs clearing *)
+    mutable sink : Clof_stats.Stats.Sink.t;
   }
 
   let name = Low.name ^ "-" ^ High.name
   let fair = Low.fair && High.fair
   let depth = High.depth + 1
   let counted = Option.is_none Low.has_waiters
+
+  (* this composition's low level, as distance from the hierarchy root:
+     the full tree has depth [d] and this subtree handles level
+     [d - depth] counting from the leaf, i.e. [High.depth] from the
+     root *)
+  let stats_level = High.depth
 
   let create ?(h = 128) ~topo ~hierarchy () =
     match hierarchy with
@@ -113,7 +123,10 @@ struct
       cohort;
       low_ctx = Low.ctx_create ~node t.lows.(cohort);
       got_passed = false;
+      sink = Clof_stats.Stats.Sink.null;
     }
+
+  let set_sink ctx sink = ctx.sink <- sink
 
   (* lockgen(acq(CLoF(l, L), c)) of Figure 8 *)
   let acquire t ctx =
@@ -122,7 +135,12 @@ struct
     Low.acquire low ctx.low_ctx;
     if counted then ignore (M.fetch_add m.waiters (-1));
     ctx.got_passed <- M.load ~o:Acquire m.high_locked;
-    if not ctx.got_passed then High.acquire t.high m.high_ctx
+    if not ctx.got_passed then begin
+      (* we own the low lock, hence the shared high context: route the
+         higher levels' events to this thread's recorder *)
+      High.set_sink m.high_ctx ctx.sink;
+      High.acquire t.high m.high_ctx
+    end
 
   (* keep_local (Section 4.1.2): allow up to [h] consecutive local
      handovers, then force the high lock outward. Owner-only state. *)
@@ -147,14 +165,27 @@ struct
      [m.high_ctx], violating the context invariant (Section 4.1.3). *)
   let release t ctx =
     let low = t.lows.(ctx.cohort) and m = t.metas.(ctx.cohort) in
-    if has_low_waiters low m ctx.low_ctx && keep_local t m then begin
+    let waiters = has_low_waiters low m ctx.low_ctx in
+    if waiters && keep_local t m then begin
+      Clof_stats.Stats.Sink.keep_local ctx.sink ~level:stats_level
+        ~kept:true;
+      Clof_stats.Stats.Sink.handover ctx.sink ~level:stats_level
+        ~local:true;
       if not ctx.got_passed then M.store ~o:Release m.high_locked true;
       Low.release low ctx.low_ctx
     end
     else begin
+      (* [waiters] here means the H threshold fired: a local waiter
+         exists but starvation-avoidance forces the lock outward *)
+      if waiters then
+        Clof_stats.Stats.Sink.keep_local ctx.sink ~level:stats_level
+          ~kept:false;
+      Clof_stats.Stats.Sink.handover ctx.sink ~level:stats_level
+        ~local:false;
       (* only the pass path ever sets the flag, so it needs clearing
          exactly when the high lock arrived by passing *)
       if ctx.got_passed then M.store ~o:Relaxed m.high_locked false;
+      High.set_sink m.high_ctx ctx.sink;
       High.release t.high m.high_ctx;
       Low.release low ctx.low_ctx
     end

@@ -1,6 +1,8 @@
 module Make (M : Clof_atomics.Memory_intf.S) (L : Clof_intf.S) = struct
+  module Sink = Clof_stats.Stats.Sink
+
   type t = { word : bool M.aref; slow : L.t }
-  type ctx = L.ctx
+  type ctx = { inner : L.ctx; mutable sink : Sink.t }
 
   let name = "fp-" ^ L.name
   let fair = false (* barging trades fairness for the fast path *)
@@ -12,22 +14,32 @@ module Make (M : Clof_atomics.Memory_intf.S) (L : Clof_intf.S) = struct
       slow = L.create ?h ~topo ~hierarchy ();
     }
 
-  let ctx_create t ~cpu = L.ctx_create t.slow ~cpu
+  let ctx_create t ~cpu = { inner = L.ctx_create t.slow ~cpu; sink = Sink.null }
 
-  let take_word t =
+  let set_sink ctx sink =
+    ctx.sink <- sink;
+    L.set_sink ctx.inner sink
+
+  let take_word t ctx =
     let rec go () =
       ignore (M.await t.word (fun held -> not held));
-      if not (M.cas t.word ~expected:false ~desired:true) then go ()
+      if not (M.cas t.word ~expected:false ~desired:true) then begin
+        Sink.spin ctx.sink 1;
+        go ()
+      end
     in
     go ()
 
   let acquire t ctx =
     (* one CAS when uncontended; otherwise queue through the CLoF lock
        so only one queued thread at a time competes with bargers *)
-    if not (M.cas t.word ~expected:false ~desired:true) then begin
-      L.acquire t.slow ctx;
-      take_word t;
-      L.release t.slow ctx
+    if M.cas t.word ~expected:false ~desired:true then
+      Sink.fast_path ctx.sink
+    else begin
+      Sink.contended ctx.sink;
+      L.acquire t.slow ctx.inner;
+      take_word t ctx;
+      L.release t.slow ctx.inner
     end
 
   let release t _ctx = M.store ~o:Release t.word false

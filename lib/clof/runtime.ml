@@ -1,5 +1,9 @@
 type handle = { acquire : unit -> unit; release : unit -> unit }
-type lock = { l_name : string; handle : cpu:int -> handle }
+
+type lock = {
+  l_name : string;
+  handle : ?stats:Clof_stats.Stats.recorder -> cpu:int -> unit -> handle;
+}
 
 type spec = {
   s_name : string;
@@ -16,8 +20,12 @@ let of_clof ?h ~hierarchy (packed : Clof_intf.packed) =
         {
           l_name = L.name;
           handle =
-            (fun ~cpu ->
+            (fun ?stats ~cpu () ->
               let ctx = L.ctx_create t ~cpu in
+              (match stats with
+              | Some r ->
+                  L.set_sink ctx (Clof_stats.Stats.Sink.of_recorder r)
+              | None -> ());
               {
                 acquire = (fun () -> L.acquire t ctx);
                 release = (fun () -> L.release t ctx);
@@ -35,7 +43,9 @@ let of_basic (type a) (packed : a Clof_locks.Lock_intf.packed) =
         {
           l_name = B.name;
           handle =
-            (fun ~cpu ->
+            (fun ?stats:_ ~cpu () ->
+              (* basic locks have no internal instrumentation points;
+                 the harness still records acquisitions and latency *)
               ignore cpu;
               let ctx = B.ctx_create t in
               {

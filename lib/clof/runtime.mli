@@ -14,8 +14,12 @@ type handle = {
 
 type lock = {
   l_name : string;
-  handle : cpu:int -> handle;
-      (** Create this thread's context; call once per thread. *)
+  handle : ?stats:Clof_stats.Stats.recorder -> cpu:int -> unit -> handle;
+      (** Create this thread's context; call once per thread. [stats]
+          installs the thread's observability recorder into the
+          context, so instrumented locks report per-level handover and
+          keep_local events there; omitted, recording is disabled and
+          costs one branch per event. *)
 }
 
 type spec = {

@@ -358,12 +358,7 @@ let verify_scaling ppf () =
         r)
     (Clof_verify.Scenarios.scaling ~max_depth:3 ())
 
-let jain counts =
-  let xs = Array.map float_of_int counts in
-  let s = Array.fold_left ( +. ) 0.0 xs in
-  let s2 = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
-  if s2 = 0.0 then 1.0
-  else s *. s /. (float_of_int (Array.length xs) *. s2)
+let jain = Report.jain
 
 let fairness ppf () =
   Format.pp_print_string ppf
@@ -526,6 +521,47 @@ let cohorts ppf () =
       series_table ppf ~platform:p series)
     [ Platform.x86 ]
 
+let stats_exp ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Lock observability: per-level handover locality, keep_local and \
+        acquire latency (x86 LevelDB, 95T)");
+  let p = Platform.x86 in
+  let module S = Clof_stats.Stats in
+  List.iter
+    (fun spec ->
+      let r = W.run ~platform:p ~nthreads:95 ~spec (leveldb ()) in
+      let s = r.W.stats in
+      Format.fprintf ppf
+        "%-26s acq %8d   fast-path %7d   contended %8d   spins %8d@."
+        r.W.lock (S.acquisitions s) (S.fastpath s) (S.contended s)
+        (S.spins s);
+      for lvl = 0 to S.levels_used s - 1 do
+        let local = S.local_pass s ~level:lvl
+        and remote = S.remote_pass s ~level:lvl in
+        if local + remote > 0 then
+          Format.fprintf ppf
+            "  level %d: %8d local / %8d remote  (%5.1f%% local)  \
+             keep_local %8d  H-exhausted %6d@."
+            lvl local remote
+            (100.0 *. float_of_int local /. float_of_int (local + remote))
+            (S.keep_local_kept s ~level:lvl)
+            (S.h_exhausted s ~level:lvl)
+      done;
+      match (S.percentile s 50.0, S.percentile s 99.0) with
+      | Some p50, Some p99 ->
+          Format.fprintf ppf
+            "  acquire latency: p50 in [%d ns bucket], p99 in [%d ns \
+             bucket], %d samples@."
+            p50 p99 (S.latency_samples s)
+      | _ -> ())
+    [
+      RT.of_basic R.mcs;
+      RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
+      Cna.spec ();
+      clof_spec p 4;
+    ]
+
 let discover ppf () =
   Format.pp_print_string ppf
     (Render.section "Hierarchy discovery (Figure 5, first step)");
@@ -557,6 +593,7 @@ let ids =
     ("ablate_levels", "hierarchy depth sweep (ablation)");
     ("cohorts", "classic lock-cohorting compositions (2.3)");
     ("locality", "cache-line transfer distances per lock (keep_local observed)");
+    ("stats", "per-level lock counters: handover locality, keep_local, latency");
     ("fastpath", "TAS fast-path extension ablation (paper 6)");
     ("discover", "automated hierarchy inference (Figure 5)");
   ]
@@ -580,6 +617,7 @@ let run ppf = function
   | "ablate_levels" -> ablate_levels ppf (); true
   | "cohorts" -> cohorts ppf (); true
   | "locality" -> locality ppf (); true
+  | "stats" -> stats_exp ppf (); true
   | "fastpath" -> fastpath ppf (); true
   | "discover" -> discover ppf (); true
   | _ -> false

@@ -1,0 +1,57 @@
+(** Structured benchmark reports: a fixed panel of representative locks
+    swept across thread counts on each simulated platform, with every
+    point carrying throughput, fairness (Jain index) and the full
+    per-level lock-observability counters of {!Clof_stats.Stats}.
+    Serialized to JSON (hand-rolled, {!Clof_stats.Json}) so CI can
+    archive a report per commit and [bench_check] can diff two of them
+    for throughput regressions or fairness losses. *)
+
+val schema_version : int
+(** Bumped on any incompatible change to the JSON shape; {!of_json}
+    rejects other versions. *)
+
+type point = {
+  threads : int;
+  throughput : float;  (** operations per simulated microsecond *)
+  total_ops : int;
+  sim_ns : int;
+  jain : float;  (** Jain fairness index of per-thread op counts *)
+  stats : Clof_stats.Stats.recorder;
+      (** merged observability counters for the run *)
+}
+
+type series = { lock : string; points : point list }
+
+type experiment = {
+  exp_id : string;  (** one of {!ids} *)
+  platform : string;
+  workload : string;
+  series : series list;
+}
+
+type t = { version : int; quick : bool; experiments : experiment list }
+
+val jain : int array -> float
+(** Jain fairness index: 1.0 = perfectly fair, 1/n = one thread owns
+    everything; 1.0 on an all-zero array. *)
+
+val point_of_result : int * Clof_workloads.Workload.result -> point
+(** Fold one [(threads, result)] benchmark point into report form. *)
+
+val ids : (string * string) list
+(** [(id, description)] of the available report experiments
+    ([report-x86], [report-armv8]). *)
+
+val run : ?quick:bool -> string list -> (t, string) result
+(** Run the named report experiments. All ids are validated before any
+    benchmark starts; the error lists every unknown id. [quick] uses the
+    smoke-mode thread grid and duration (what CI runs). *)
+
+val to_json : t -> Clof_stats.Json.t
+val to_string : t -> string
+(** Pretty-printed (2-space indent) JSON document. *)
+
+val of_json : Clof_stats.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; also the entry point used by
+    [bench_check]. *)

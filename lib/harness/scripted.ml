@@ -22,12 +22,15 @@ let thread_grid p =
 
 let ctr_for p = p.Platform.arch = Platform.X86
 
+let sweep_results ~platform ~threadcounts ~params spec =
+  List.map
+    (fun n -> (n, W.run ~platform ~nthreads:n ~spec params))
+    threadcounts
+
 let sweep_spec ~platform ~threadcounts ~params spec =
   List.map
-    (fun n ->
-      let r = W.run ~platform ~nthreads:n ~spec params in
-      (n, r.W.throughput))
-    threadcounts
+    (fun (n, r) -> (n, r.W.throughput))
+    (sweep_results ~platform ~threadcounts ~params spec)
 
 let run ?(params = W.leveldb) ?threadcounts ?h ~platform ~depth () =
   let threadcounts =

@@ -29,6 +29,18 @@ val run :
 (** Benchmark all compositions (LevelDB parameters by default, #runs=1
     and a short duration, as the paper's scripted benchmark does). *)
 
+val sweep_results :
+  platform:Clof_topology.Platform.t ->
+  threadcounts:int list ->
+  params:Clof_workloads.Workload.params ->
+  Clof_core.Runtime.spec ->
+  (int * Clof_workloads.Workload.result) list
+(** Benchmark one lock across the thread counts, keeping the full
+    {!Clof_workloads.Workload.result} (per-thread ops, transfers,
+    observability stats) of every point — the input to
+    {!Report}-style structured output, where throughput alone is not
+    enough. *)
+
 val hc_best : t -> Clof_core.Selection.series
 val lc_best : t -> Clof_core.Selection.series
 val worst : t -> Clof_core.Selection.series

@@ -1,0 +1,306 @@
+(* Per-thread lock-event counters. Plain mutable ints: a recorder is
+   only ever written by the thread that owns it (the context invariant
+   extends to the sink installed in a context), so recording is a field
+   increment — no atomics, no allocation on the hot path. *)
+
+let max_levels = 8
+let nbuckets = 24
+
+type recorder = {
+  mutable acquisitions : int;
+  mutable fastpath : int;
+  mutable contended : int;
+  mutable spins : int;
+  local_pass : int array;       (* per level, 0 = outermost/system *)
+  remote_pass : int array;
+  keep_local_kept : int array;
+  h_exhausted : int array;
+  latency : int array;          (* log2-bucketed acquire latency, ns *)
+}
+
+let create () =
+  {
+    acquisitions = 0;
+    fastpath = 0;
+    contended = 0;
+    spins = 0;
+    local_pass = Array.make max_levels 0;
+    remote_pass = Array.make max_levels 0;
+    keep_local_kept = Array.make max_levels 0;
+    h_exhausted = Array.make max_levels 0;
+    latency = Array.make nbuckets 0;
+  }
+
+let reset r =
+  r.acquisitions <- 0;
+  r.fastpath <- 0;
+  r.contended <- 0;
+  r.spins <- 0;
+  Array.fill r.local_pass 0 max_levels 0;
+  Array.fill r.remote_pass 0 max_levels 0;
+  Array.fill r.keep_local_kept 0 max_levels 0;
+  Array.fill r.h_exhausted 0 max_levels 0;
+  Array.fill r.latency 0 nbuckets 0
+
+(* bucket [i] holds latencies in [2^i, 2^(i+1)) ns; 0 ns lands in
+   bucket 0, values past the last boundary are clamped into the top
+   bucket *)
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let b = ref 0 and v = ref ns in
+    while !v > 1 do
+      incr b;
+      v := !v lsr 1
+    done;
+    min !b (nbuckets - 1)
+  end
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl i
+
+let merge a b =
+  let arr2 f g = Array.init (Array.length f) (fun i -> f.(i) + g.(i)) in
+  {
+    acquisitions = a.acquisitions + b.acquisitions;
+    fastpath = a.fastpath + b.fastpath;
+    contended = a.contended + b.contended;
+    spins = a.spins + b.spins;
+    local_pass = arr2 a.local_pass b.local_pass;
+    remote_pass = arr2 a.remote_pass b.remote_pass;
+    keep_local_kept = arr2 a.keep_local_kept b.keep_local_kept;
+    h_exhausted = arr2 a.h_exhausted b.h_exhausted;
+    latency = arr2 a.latency b.latency;
+  }
+
+let merge_all = function
+  | [] -> create ()
+  | r :: rest -> List.fold_left merge r rest
+
+let equal a b =
+  a.acquisitions = b.acquisitions
+  && a.fastpath = b.fastpath
+  && a.contended = b.contended
+  && a.spins = b.spins
+  && a.local_pass = b.local_pass
+  && a.remote_pass = b.remote_pass
+  && a.keep_local_kept = b.keep_local_kept
+  && a.h_exhausted = b.h_exhausted
+  && a.latency = b.latency
+
+(* ---------- accessors ---------- *)
+
+let acquisitions r = r.acquisitions
+let fastpath r = r.fastpath
+let contended r = r.contended
+let spins r = r.spins
+
+let at arr level =
+  if level < 0 || level >= max_levels then 0 else arr.(level)
+
+let local_pass r ~level = at r.local_pass level
+let remote_pass r ~level = at r.remote_pass level
+let keep_local_kept r ~level = at r.keep_local_kept level
+let h_exhausted r ~level = at r.h_exhausted level
+let handovers r ~level = at r.local_pass level + at r.remote_pass level
+
+let local_ratio r ~level =
+  let total = handovers r ~level in
+  if total = 0 then None
+  else Some (float_of_int (at r.local_pass level) /. float_of_int total)
+
+let levels_used r =
+  let used = ref 0 in
+  for i = 0 to max_levels - 1 do
+    if
+      r.local_pass.(i) <> 0
+      || r.remote_pass.(i) <> 0
+      || r.keep_local_kept.(i) <> 0
+      || r.h_exhausted.(i) <> 0
+    then used := i + 1
+  done;
+  !used
+
+let latency_count r ~bucket =
+  if bucket < 0 || bucket >= nbuckets then 0 else r.latency.(bucket)
+
+let latency_samples r = Array.fold_left ( + ) 0 r.latency
+
+(* Approximate percentile from the histogram: the lower bound of the
+   bucket containing the p-quantile sample. *)
+let percentile r p =
+  let total = latency_samples r in
+  if total = 0 then None
+  else begin
+    let target =
+      let t = int_of_float (Float.of_int total *. p /. 100.0) in
+      min (max t 0) (total - 1)
+    in
+    let rec go i seen =
+      if i >= nbuckets then Some (bucket_lo (nbuckets - 1))
+      else begin
+        let seen = seen + r.latency.(i) in
+        if seen > target then Some (bucket_lo i) else go (i + 1) seen
+      end
+    in
+    go 0 0
+  end
+
+let is_empty r =
+  r.acquisitions = 0 && r.fastpath = 0 && r.contended = 0 && r.spins = 0
+  && levels_used r = 0
+  && latency_samples r = 0
+
+(* ---------- JSON ---------- *)
+
+let to_json r =
+  let levels =
+    List.filteri
+      (fun i _ ->
+        r.local_pass.(i) <> 0
+        || r.remote_pass.(i) <> 0
+        || r.keep_local_kept.(i) <> 0
+        || r.h_exhausted.(i) <> 0)
+      (List.init max_levels Fun.id)
+    |> List.map (fun i ->
+           Json.Obj
+             [
+               ("level", Json.Int i);
+               ("local_pass", Json.Int r.local_pass.(i));
+               ("remote_pass", Json.Int r.remote_pass.(i));
+               ("keep_local", Json.Int r.keep_local_kept.(i));
+               ("h_exhausted", Json.Int r.h_exhausted.(i));
+             ])
+  in
+  let latency =
+    List.filteri
+      (fun i _ -> r.latency.(i) <> 0)
+      (List.init nbuckets Fun.id)
+    |> List.map (fun i ->
+           Json.Obj
+             [
+               ("bucket", Json.Int i);
+               ("lo_ns", Json.Int (bucket_lo i));
+               ("count", Json.Int r.latency.(i));
+             ])
+  in
+  Json.Obj
+    [
+      ("acquisitions", Json.Int r.acquisitions);
+      ("fastpath", Json.Int r.fastpath);
+      ("contended", Json.Int r.contended);
+      ("spins", Json.Int r.spins);
+      ("levels", Json.Arr levels);
+      ("latency_ns", Json.Arr latency);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let int_field obj name =
+    match Option.bind (Json.member name obj) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "stats: missing int field %S" name)
+  in
+  let r = create () in
+  let* acq = int_field j "acquisitions" in
+  let* fp = int_field j "fastpath" in
+  let* con = int_field j "contended" in
+  let* sp = int_field j "spins" in
+  r.acquisitions <- acq;
+  r.fastpath <- fp;
+  r.contended <- con;
+  r.spins <- sp;
+  let* levels =
+    match Option.bind (Json.member "levels" j) Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "stats: missing levels array"
+  in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* lvl = int_field entry "level" in
+        if lvl < 0 || lvl >= max_levels then
+          Error (Printf.sprintf "stats: level %d out of range" lvl)
+        else begin
+          let* lp = int_field entry "local_pass" in
+          let* rp = int_field entry "remote_pass" in
+          let* kl = int_field entry "keep_local" in
+          let* hx = int_field entry "h_exhausted" in
+          r.local_pass.(lvl) <- lp;
+          r.remote_pass.(lvl) <- rp;
+          r.keep_local_kept.(lvl) <- kl;
+          r.h_exhausted.(lvl) <- hx;
+          Ok ()
+        end)
+      (Ok ()) levels
+  in
+  let* latency =
+    match Option.bind (Json.member "latency_ns" j) Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "stats: missing latency_ns array"
+  in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* b = int_field entry "bucket" in
+        if b < 0 || b >= nbuckets then
+          Error (Printf.sprintf "stats: bucket %d out of range" b)
+        else begin
+          let* n = int_field entry "count" in
+          r.latency.(b) <- n;
+          Ok ()
+        end)
+      (Ok ()) latency
+  in
+  Ok r
+
+(* ---------- the recording interface ---------- *)
+
+module Sink = struct
+  (* [None] is the disabled sink: every operation is a single
+     pattern-match returning unit, so instrumented code pays one branch
+     and no simulated-memory traffic when observability is off. *)
+  type t = recorder option
+
+  let null : t = None
+  let of_recorder r : t = Some r
+  let is_null = Option.is_none
+  let recorder (t : t) = t
+
+  let clamp level = if level >= max_levels then max_levels - 1 else level
+
+  let acquired (t : t) ~ns =
+    match t with
+    | None -> ()
+    | Some r ->
+        r.acquisitions <- r.acquisitions + 1;
+        let b = bucket_of_ns ns in
+        r.latency.(b) <- r.latency.(b) + 1
+
+  let fast_path (t : t) =
+    match t with None -> () | Some r -> r.fastpath <- r.fastpath + 1
+
+  let contended (t : t) =
+    match t with None -> () | Some r -> r.contended <- r.contended + 1
+
+  let spin (t : t) n =
+    match t with None -> () | Some r -> r.spins <- r.spins + n
+
+  let handover (t : t) ~level ~local =
+    match t with
+    | None -> ()
+    | Some r ->
+        let level = clamp level in
+        if local then r.local_pass.(level) <- r.local_pass.(level) + 1
+        else r.remote_pass.(level) <- r.remote_pass.(level) + 1
+
+  let keep_local (t : t) ~level ~kept =
+    match t with
+    | None -> ()
+    | Some r ->
+        let level = clamp level in
+        if kept then
+          r.keep_local_kept.(level) <- r.keep_local_kept.(level) + 1
+        else r.h_exhausted.(level) <- r.h_exhausted.(level) + 1
+end

@@ -1,0 +1,123 @@
+(** Lock observability: per-thread event counters with cross-thread
+    aggregation, and the no-op sink that keeps the hot path free when
+    recording is disabled.
+
+    A {!recorder} belongs to one thread (the workload allocates one per
+    benchmark thread and installs it into that thread's lock context);
+    recording is plain field mutation, no atomics. After a run, the
+    per-thread recorders are {!merge}d — merge is associative and
+    commutative, so aggregation order is irrelevant.
+
+    Per-level counters are indexed by {e distance from the hierarchy
+    root}: level 0 is the outermost (system) level, level [depth - 1]
+    the innermost (leaf) level of a CLoF/HMCS tree. Flat two-level
+    NUMA-aware baselines (CNA, ShflLock) record at level 1, matching a
+    2-level tree's NUMA level. *)
+
+val max_levels : int
+(** Hierarchy levels tracked (8); deeper levels clamp into the last. *)
+
+val nbuckets : int
+(** Latency histogram buckets (24): bucket [i] covers
+    [\[2{^i}, 2{^i+1}) ] ns, the last bucket absorbs everything
+    beyond. *)
+
+type recorder
+
+val create : unit -> recorder
+(** A fresh all-zero recorder. *)
+
+val reset : recorder -> unit
+
+val merge : recorder -> recorder -> recorder
+(** Element-wise sum into a fresh recorder; associative and
+    commutative. *)
+
+val merge_all : recorder list -> recorder
+val equal : recorder -> recorder -> bool
+val is_empty : recorder -> bool
+
+(** {2 Counter access} *)
+
+val acquisitions : recorder -> int
+(** Critical sections entered (recorded by the harness via
+    {!Sink.acquired}, uniformly for every lock kind). *)
+
+val fastpath : recorder -> int
+(** Acquisitions that completed on a lock's uncontended fast path. *)
+
+val contended : recorder -> int
+(** Acquisitions that observed contention (queued or retried). *)
+
+val spins : recorder -> int
+(** Iterations of explicit retry loops (fast-path word CAS storms). *)
+
+val local_pass : recorder -> level:int -> int
+(** Handovers at [level] that stayed inside the cohort. *)
+
+val remote_pass : recorder -> level:int -> int
+(** Handovers at [level] that sent the lock outward (no local waiter,
+    or the keep_local threshold H forced it out). *)
+
+val handovers : recorder -> level:int -> int
+(** [local_pass + remote_pass]. *)
+
+val local_ratio : recorder -> level:int -> float option
+(** Fraction of handovers kept local; [None] when no handovers. *)
+
+val keep_local_kept : recorder -> level:int -> int
+(** keep_local decisions that granted another intra-cohort pass. *)
+
+val h_exhausted : recorder -> level:int -> int
+(** keep_local denials: a local waiter existed but the H threshold
+    forced the lock outward (starvation-avoidance firing). *)
+
+val levels_used : recorder -> int
+(** 1 + highest level index with any per-level activity; 0 if none. *)
+
+(** {2 Latency histogram} *)
+
+val bucket_of_ns : int -> int
+(** Bucket index for a latency sample. [bucket_of_ns v = i] iff
+    [2{^i} <= v < 2{^i+1}] (0 and 1 ns land in bucket 0), clamped to
+    the top bucket. *)
+
+val bucket_lo : int -> int
+(** Inclusive lower bound of a bucket, in ns. *)
+
+val latency_count : recorder -> bucket:int -> int
+val latency_samples : recorder -> int
+
+val percentile : recorder -> float -> int option
+(** [percentile r 99.0] is the lower bound (ns) of the bucket holding
+    the p-th percentile acquire latency; [None] without samples. *)
+
+(** {2 JSON} *)
+
+val to_json : recorder -> Json.t
+val of_json : Json.t -> (recorder, string) result
+(** Inverse of {!to_json}: [of_json (to_json r)] equals [r]. *)
+
+(** {2 Recording} *)
+
+(** The sink instrumented lock code records into. {!Sink.null} makes
+    every operation a single branch over an immediate — the disabled
+    path costs no allocation and touches no shared memory, so it is
+    safe inside the simulator's cost model and the model checker. *)
+module Sink : sig
+  type t
+
+  val null : t
+  val of_recorder : recorder -> t
+  val is_null : t -> bool
+  val recorder : t -> recorder option
+
+  val acquired : t -> ns:int -> unit
+  (** One critical-section entry with its acquire latency. *)
+
+  val fast_path : t -> unit
+  val contended : t -> unit
+  val spin : t -> int -> unit
+  val handover : t -> level:int -> local:bool -> unit
+  val keep_local : t -> level:int -> kept:bool -> unit
+end

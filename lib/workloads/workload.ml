@@ -40,6 +40,7 @@ type result = {
   hung : bool;
   aborted : bool;
   transfers : (Clof_topology.Level.proximity * int) list;
+  stats : Clof_stats.Stats.recorder;
 }
 
 exception Lock_failure of string
@@ -56,10 +57,17 @@ let run_on_cpus ?(check = true) ~platform ~cpus ~spec
      cache, and those misses are independent of lock handover locality *)
   let read_work = p.cs_reads * dram_read in
   let counts = Array.make nthreads 0 in
+  (* one recorder per thread: recording stays single-writer, the
+     recorders are merged after the run *)
+  let recorders =
+    Array.init nthreads (fun _ -> Clof_stats.Stats.create ())
+  in
   let in_cs = ref 0 in
   let violated = ref false in
   let body cpu tid =
-    let h = lock.Clof_core.Runtime.handle ~cpu in
+    let stats = recorders.(tid) in
+    let sink = Clof_stats.Stats.Sink.of_recorder stats in
+    let h = lock.Clof_core.Runtime.handle ~stats ~cpu () in
     let rng = Random.State.make [| 0x5eed; tid; cpu |] in
     (* Heterogeneous thread rates and a staggered start keep the queue
        order mixing; without them FIFO locks settle into a stable
@@ -75,7 +83,9 @@ let run_on_cpus ?(check = true) ~platform ~cpus ~spec
     in
     think ();
     while E.running () do
+      let t0 = E.now () in
       h.Clof_core.Runtime.acquire ();
+      Clof_stats.Stats.Sink.acquired sink ~ns:(E.now () - t0);
       incr in_cs;
       if !in_cs <> 1 then violated := true;
       if read_work > 0 then E.work read_work;
@@ -118,6 +128,7 @@ let run_on_cpus ?(check = true) ~platform ~cpus ~spec
     hung = o.hung;
     aborted = o.aborted;
     transfers = o.E.transfers;
+    stats = Clof_stats.Stats.merge_all (Array.to_list recorders);
   }
 
 let run ?check ~platform ~nthreads ~spec p =

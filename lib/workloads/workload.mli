@@ -41,6 +41,12 @@ type result = {
   transfers : (Clof_topology.Level.proximity * int) list;
       (** cache-line transfers by distance class during the run — the
           direct measurement of handover locality *)
+  stats : Clof_stats.Stats.recorder;
+      (** merged per-thread lock observability counters: acquisitions
+          and log2-bucketed acquire latencies (recorded here, uniformly
+          for every lock), plus whatever the lock's own instrumentation
+          reported — per-level local/remote handovers, keep_local
+          decisions, H-threshold exhaustions, fast-path hits, spins *)
 }
 
 exception Lock_failure of string

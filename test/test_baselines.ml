@@ -18,7 +18,7 @@ let exercise_spec ?(platform = Platform.tiny) ?(nthreads = 16) ?(iters = 100)
   let in_cs = ref 0 in
   let overlaps = ref 0 in
   let body cpu =
-    let h = lock.RT.handle ~cpu in
+    let h = lock.RT.handle ~cpu () in
     fun _tid ->
       for _ = 1 to iters do
         h.RT.acquire ();

@@ -306,7 +306,7 @@ let test_runtime_of_basic () =
   let spec = RT.of_basic R.mcs in
   Alcotest.(check string) "name" "mcs" spec.RT.s_name;
   let lock = spec.RT.instantiate Platform.tiny.Platform.topo in
-  let h = lock.RT.handle ~cpu:0 in
+  let h = lock.RT.handle ~cpu:0 () in
   let ran = ref false in
   ignore
     (E.run ~duration:max_int ~platform:Platform.tiny

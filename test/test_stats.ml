@@ -1,0 +1,310 @@
+open Clof_topology
+module S = Clof_stats.Stats
+module J = Clof_stats.Json
+module M = Clof_sim.Sim_mem
+module R = Clof_locks.Registry.Make (M)
+module G = Clof_core.Generator.Make (M)
+module W = Clof_workloads.Workload
+module RT = Clof_core.Runtime
+module Report = Clof_harness.Report
+
+let qcheck = QCheck_alcotest.to_alcotest
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- events, for building arbitrary recorders ---------- *)
+
+type event =
+  | Acquired of int
+  | Fast
+  | Contended
+  | Spin of int
+  | Handover of int * bool
+  | Keep_local of int * bool
+
+let apply sink = function
+  | Acquired ns -> S.Sink.acquired sink ~ns
+  | Fast -> S.Sink.fast_path sink
+  | Contended -> S.Sink.contended sink
+  | Spin n -> S.Sink.spin sink n
+  | Handover (level, local) -> S.Sink.handover sink ~level ~local
+  | Keep_local (level, kept) -> S.Sink.keep_local sink ~level ~kept
+
+let record events =
+  let r = S.create () in
+  let sink = S.Sink.of_recorder r in
+  List.iter (apply sink) events;
+  r
+
+let event_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun ns -> Acquired ns) (int_bound 100_000);
+        return Fast;
+        return Contended;
+        map (fun n -> Spin n) (int_bound 50);
+        map2
+          (fun l b -> Handover (l, b))
+          (int_bound (S.max_levels + 2))
+          bool;
+        map2
+          (fun l b -> Keep_local (l, b))
+          (int_bound (S.max_levels + 2))
+          bool;
+      ])
+
+let events_arb = QCheck.make QCheck.Gen.(list_size (int_bound 60) event_gen)
+
+(* ---------- merge ---------- *)
+
+let test_merge_associative =
+  QCheck.Test.make ~name:"merge is associative and commutative" ~count:200
+    QCheck.(triple events_arb events_arb events_arb)
+    (fun (ea, eb, ec) ->
+      let a = record ea and b = record eb and c = record ec in
+      S.equal (S.merge (S.merge a b) c) (S.merge a (S.merge b c))
+      && S.equal (S.merge a b) (S.merge b a))
+
+let test_merge_identity =
+  QCheck.Test.make ~name:"empty recorder is the merge identity" ~count:100
+    events_arb (fun es ->
+      let r = record es in
+      S.equal (S.merge r (S.create ())) r)
+
+let test_merge_counts () =
+  let a = record [ Acquired 5; Fast; Handover (1, true) ] in
+  let b = record [ Acquired 7; Contended; Handover (1, false); Spin 3 ] in
+  let m = S.merge a b in
+  check_int "acquisitions" 2 (S.acquisitions m);
+  check_int "fastpath" 1 (S.fastpath m);
+  check_int "contended" 1 (S.contended m);
+  check_int "spins" 3 (S.spins m);
+  check_int "local level 1" 1 (S.local_pass m ~level:1);
+  check_int "remote level 1" 1 (S.remote_pass m ~level:1);
+  check_int "handovers" 2 (S.handovers m ~level:1);
+  check_bool "merge left originals alone" true
+    (S.acquisitions a = 1 && S.acquisitions b = 1)
+
+(* ---------- histogram buckets ---------- *)
+
+let test_bucket_boundaries () =
+  check_int "0 ns" 0 (S.bucket_of_ns 0);
+  check_int "1 ns" 0 (S.bucket_of_ns 1);
+  check_int "2 ns" 1 (S.bucket_of_ns 2);
+  check_int "3 ns" 1 (S.bucket_of_ns 3);
+  check_int "4 ns" 2 (S.bucket_of_ns 4);
+  (* every power of two opens its own bucket; one below stays behind *)
+  for i = 1 to S.nbuckets - 1 do
+    check_int (Printf.sprintf "2^%d" i) i (S.bucket_of_ns (1 lsl i));
+    check_int (Printf.sprintf "2^%d - 1" i) (i - 1)
+      (S.bucket_of_ns ((1 lsl i) - 1))
+  done;
+  check_int "huge clamps to last" (S.nbuckets - 1)
+    (S.bucket_of_ns max_int);
+  check_int "bucket_lo inverts" 4096 (S.bucket_lo (S.bucket_of_ns 5000))
+
+let test_bucket_lo_consistent =
+  QCheck.Test.make ~name:"bucket_lo v <= v for in-range samples" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun v ->
+      let b = S.bucket_of_ns v in
+      S.bucket_lo b <= max 1 v
+      && (b = S.nbuckets - 1 || max 1 v < S.bucket_lo (b + 1)))
+
+let test_percentile () =
+  let r = record [ Acquired 1; Acquired 2; Acquired 1000 ] in
+  check_int "samples" 3 (S.latency_samples r);
+  check_bool "p01 in first bucket" true (S.percentile r 1.0 = Some 0);
+  check_bool "p99 in 512-bucket" true (S.percentile r 99.0 = Some 512);
+  check_bool "no samples, no percentile" true
+    (S.percentile (S.create ()) 50.0 = None)
+
+(* ---------- JSON ---------- *)
+
+let test_stats_json_roundtrip =
+  QCheck.Test.make ~name:"stats JSON round-trip" ~count:200 events_arb
+    (fun es ->
+      let r = record es in
+      match S.of_json (S.to_json r) with
+      | Ok r' -> S.equal r r'
+      | Error _ -> false)
+
+let test_stats_json_string_stable () =
+  let r =
+    record
+      [
+        Acquired 17; Fast; Contended; Spin 4;
+        Handover (0, false); Handover (2, true); Keep_local (2, true);
+      ]
+  in
+  let s1 = J.to_string (S.to_json r) in
+  let via_parse =
+    match J.of_string s1 with
+    | Ok j -> (
+        match S.of_json j with
+        | Ok r' -> J.to_string (S.to_json r')
+        | Error e -> "stats reparse error: " ^ e)
+    | Error e -> "json parse error: " ^ e
+  in
+  check_str "print/parse/print is stable" s1 via_parse
+
+let test_json_values () =
+  let doc = {|{"a": [1, -2.5, "xé\n", true, null], "b": {}}|} in
+  match J.of_string doc with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      check_bool "array" true
+        (J.member "a" j |> Option.get |> J.to_list |> Option.get
+        |> List.length = 5);
+      check_bool "unicode escape" true
+        (let l = J.member "a" j |> Option.get |> J.to_list |> Option.get in
+         J.to_str (List.nth l 2) = Some "x\xc3\xa9\n");
+      check_bool "reprint parses" true
+        (match J.of_string (J.to_string j) with
+        | Ok j' -> J.to_string j' = J.to_string j
+        | Error _ -> false);
+      check_bool "trailing garbage rejected" true
+        (match J.of_string "{} x" with Error _ -> true | Ok _ -> false);
+      check_bool "int survives float printer" true
+        (J.to_string (J.Arr [ J.Int 42; J.Float 0.5 ]) = "[42,0.5]")
+
+(* ---------- end-to-end: a 2-level compose run ---------- *)
+
+let run_2level ?h nthreads =
+  let p = Platform.x86 in
+  let spec =
+    RT.of_clof ?h
+      ~hierarchy:(Platform.hierarchy_of_depth p 2)
+      (G.build [ R.mcs; R.mcs ])
+  in
+  W.run ~platform:p ~nthreads ~spec
+    { W.duration = 120_000; cs_reads = 2; cs_writes = 1; cs_work = 50;
+      noncs_work = 400 }
+
+let test_compose_levels () =
+  let r = run_2level 16 in
+  let s = r.W.stats in
+  check_int "acquisitions = total ops" r.W.total_ops (S.acquisitions s);
+  (* the compose level of a 2-level CLoF lock records exactly one
+     handover (local or remote) per release *)
+  check_int "leaf local+remote = acquisitions" (S.acquisitions s)
+    (S.local_pass s ~level:1 + S.remote_pass s ~level:1);
+  check_bool "contention keeps some passes local" true
+    (S.local_pass s ~level:1 > 0);
+  check_bool "some handovers leave the cohort" true
+    (S.remote_pass s ~level:1 > 0);
+  check_bool "latency histogram populated" true
+    (S.latency_samples s = S.acquisitions s);
+  check_int "level 0 untouched (root basic lock is uninstrumented)" 0
+    (S.handovers s ~level:0)
+
+let test_compose_h_exhaustion () =
+  (* H=1: every second local pass trips the starvation threshold *)
+  let r = run_2level ~h:1 16 in
+  check_bool "tiny H fires the exhaustion counter" true
+    (S.h_exhausted r.W.stats ~level:1 > 0);
+  let r128 = run_2level 16 in
+  check_bool "default H fires less often than H=1" true
+    (S.h_exhausted r128.W.stats ~level:1
+    < S.h_exhausted r.W.stats ~level:1)
+
+(* ---------- report round-trip ---------- *)
+
+let test_report_roundtrip () =
+  let point stats =
+    {
+      Report.threads = 8;
+      throughput = 1.25;
+      total_ops = 1000;
+      sim_ns = 800_000;
+      jain = 0.9875;
+      stats;
+    }
+  in
+  let t =
+    {
+      Report.version = Report.schema_version;
+      quick = true;
+      experiments =
+        [
+          {
+            Report.exp_id = "report-x86";
+            platform = "x86-2x24ht";
+            workload = "leveldb";
+            series =
+              [
+                {
+                  Report.lock = "mcs";
+                  points =
+                    [
+                      point (record [ Acquired 12; Handover (1, true) ]);
+                      point (S.create ());
+                    ];
+                };
+              ];
+          };
+        ];
+    }
+  in
+  let s = Report.to_string t in
+  match Report.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok t' -> check_str "round-trip" s (Report.to_string t')
+
+let test_report_rejects () =
+  check_bool "schema version checked" true
+    (match Report.of_string {|{"schema_version": 99}|} with
+    | Error _ -> true
+    | Ok _ -> false);
+  check_bool "unknown report id listed" true
+    (match Report.run [ "report-vax" ] with
+    | Error e ->
+        (* the error must name the offending id *)
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        contains e "report-vax"
+    | Ok _ -> false)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "merge",
+        [
+          qcheck test_merge_associative;
+          qcheck test_merge_identity;
+          Alcotest.test_case "counts add up" `Quick test_merge_counts;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_bucket_boundaries;
+          qcheck test_bucket_lo_consistent;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+      ( "json",
+        [
+          qcheck test_stats_json_roundtrip;
+          Alcotest.test_case "canonical string stable" `Quick
+            test_stats_json_string_stable;
+          Alcotest.test_case "values and escapes" `Quick test_json_values;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "per-level counts from a 2-level run" `Quick
+            test_compose_levels;
+          Alcotest.test_case "H threshold exhaustion" `Quick
+            test_compose_h_exhaustion;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "JSON round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "rejections" `Quick test_report_rejects;
+        ] );
+    ]

@@ -52,7 +52,7 @@ let test_broken_lock_detected () =
           {
             RT.l_name = "broken";
             handle =
-              (fun ~cpu:_ ->
+              (fun ?stats:_ ~cpu:_ () ->
                 { RT.acquire = (fun () -> ()); release = (fun () -> ()) });
           });
     }
