@@ -47,15 +47,42 @@ let report quick out ids =
   | Error msg -> `Error (false, msg)
   | Ok r -> (
       let doc = Clof_harness.Report.to_string r in
-      match open_out out with
+      (* open, write and close can each raise Sys_error (unwritable
+         path, full disk, I/O error); all must surface as a one-line
+         failure, not a backtrace *)
+      match
+        let oc = open_out out in
+        Fun.protect
+          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+          (fun () ->
+            output_string oc doc;
+            close_out oc)
+      with
       | exception Sys_error msg -> `Error (false, msg)
-      | oc ->
-          output_string oc doc;
-          close_out oc;
+      | () ->
           Printf.printf "wrote %s (%d experiment(s), schema v%d)\n" out
             (List.length r.Clof_harness.Report.experiments)
             Clof_harness.Report.schema_version;
           `Ok ())
+
+let faults_gate quick =
+  Clof_harness.Experiments.set_quick quick;
+  ignore (Clof_harness.Experiments.run Format.std_formatter "faults");
+  match
+    Clof_harness.Experiments.fault_gate
+      (Clof_harness.Experiments.fault_matrix ())
+  with
+  | [] -> `Ok ()
+  | bad ->
+      `Error
+        ( false,
+          Printf.sprintf "fault gate: %s"
+            (String.concat "; "
+               (List.map
+                  (fun (lock, fault) ->
+                    Printf.sprintf "fair lock %s wedged under %s" lock
+                      fault)
+                  bad)) )
 
 open Cmdliner
 
@@ -106,6 +133,13 @@ let report_cmd =
     (Cmd.info "report" ~doc)
     Term.(ret (const report $ quick $ out $ ids))
 
+let faults_cmd =
+  let doc =
+    "Run the fault-injection matrix and fail if any fair lock wedges \
+     under a transient stall (the CI robustness gate)"
+  in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(ret (const faults_gate $ quick))
+
 let main =
   let doc =
     "CLoF reproduction: compositional NUMA-aware locks on a simulated \
@@ -114,6 +148,6 @@ let main =
   Cmd.group
     ~default:Term.(ret (const run_ids $ quick $ ids_arg))
     (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
-    [ run_cmd; list_cmd; report_cmd ]
+    [ run_cmd; list_cmd; report_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

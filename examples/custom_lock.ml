@@ -46,6 +46,29 @@ module Anderson (M : Clof_atomics.Memory_intf.S) :
     M.store ~o:Relaxed t.grants.(slot) false;
     M.store ~o:Release t.grants.((slot + 1) mod slots) true
 
+  let abortable = false
+
+  (* Taking a ticket commits to consuming its grant, so the timed path
+     never queues: it polls for the state where the next ticket's slot
+     is already granted and claims it with one CAS. *)
+  let try_acquire t ctx ~deadline =
+    let rec go () =
+      let n = M.load ~o:Relaxed t.next in
+      if
+        M.load ~o:Acquire t.grants.(n mod slots)
+        && M.cas t.next ~expected:n ~desired:(n + 1)
+      then begin
+        ctx.my_slot <- n mod slots;
+        true
+      end
+      else if M.now () >= deadline then false
+      else begin
+        M.pause ();
+        go ()
+      end
+    in
+    go ()
+
   let has_waiters = None (* let CLoF add its waiter counter *)
 end
 

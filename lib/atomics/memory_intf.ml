@@ -69,4 +69,21 @@ module type S = sig
 
   val pause : unit -> unit
   (** CPU relax hint inside hand-written retry loops. *)
+
+  val now : unit -> int
+  (** The backend's notion of elapsed virtual time, in nanoseconds-ish
+      units: simulated time for the simulator, CPU time for real
+      domains, the per-thread step count for the checker. Only
+      meaningful for comparing against deadlines passed to
+      {!await_until} and to [try_acquire] — the unit differs per
+      backend, but is monotone per thread on all of them. *)
+
+  val await_until : ?rmw:bool -> 'a aref -> deadline:int -> ('a -> bool) -> 'a option
+  (** [await_until r ~deadline pred] is {!await} with a time bound:
+      spin until [pred (load r)] holds — returning [Some v] with the
+      witnessing value — or until [now () >= deadline], returning
+      [None]. The checker resolves the timeout {e nondeterministically}
+      (both outcomes are explored as separate schedules), which is what
+      lets the verify scenarios exercise an abort racing a handover.
+      [rmw] as in {!await}. *)
 end

@@ -36,3 +36,20 @@ let await ?rmw:_ r pred =
 let barrier = Atomic.make 0
 
 let fence () = ignore (Atomic.fetch_and_add barrier 0)
+
+(* Monotone process time in ns (Sys.time to avoid a unix dependency).
+   Deadlines handed to [await_until] and [try_acquire] are absolute
+   values of this clock. *)
+let now () = int_of_float (Sys.time () *. 1e9)
+
+let await_until ?rmw:_ r ~deadline pred =
+  let rec go () =
+    let v = Atomic.get r in
+    if pred v then Some v
+    else if now () >= deadline then None
+    else begin
+      pause ();
+      go ()
+    end
+  in
+  go ()

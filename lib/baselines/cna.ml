@@ -178,6 +178,8 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           let t = create ?h () in
           {
             Clof_core.Runtime.l_name = "cna";
+            (* blocking fallback: acquisition cannot be abandoned *)
+            l_abortable = false;
             handle =
               (fun ?stats ~cpu () ->
                 let numa =
@@ -191,6 +193,10 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
                 {
                   Clof_core.Runtime.acquire = (fun () -> acquire t ctx);
                   release = (fun () -> release t ctx);
+                  try_acquire =
+                    (fun ~deadline:_ ->
+                      acquire t ctx;
+                      true);
                 });
           })
     }

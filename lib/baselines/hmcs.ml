@@ -166,6 +166,8 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           let t = create ?h ~topo ~hierarchy () in
           {
             Clof_core.Runtime.l_name = name;
+            (* blocking fallback: acquisition cannot be abandoned *)
+            l_abortable = false;
             handle =
               (fun ?stats ~cpu () ->
                 let ctx = ctx_create t ~cpu in
@@ -175,6 +177,10 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
                 {
                   Clof_core.Runtime.acquire = (fun () -> acquire t ctx);
                   release = (fun () -> release t ctx);
+                  try_acquire =
+                    (fun ~deadline:_ ->
+                      acquire t ctx;
+                      true);
                 });
           })
     }

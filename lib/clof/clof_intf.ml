@@ -51,6 +51,22 @@ module type S = sig
 
   val acquire : t -> ctx -> unit
   val release : t -> ctx -> unit
+
+  val abortable : bool
+  (** Whether {!try_acquire} performs true queue abandonment at every
+      level. A composition is abortable iff all its constituent basic
+      locks are ({!Compose} conjoins the flags — the induction step is
+      documented there). *)
+
+  val try_acquire : t -> ctx -> deadline:int -> bool
+  (** Timed acquisition of the whole tree: [true] means the calling
+      thread owns the root lock exactly as after {!acquire}; [false]
+      means it gave up at some level before [deadline] (virtual ns,
+      compared against [M.now ()]) and owns nothing — no counter is
+      left incremented and no shared context is left claimed. Always
+      safe to call regardless of {!abortable}; non-abortable
+      constituents merely degrade the wait to polling at their
+      level. *)
 end
 
 type packed = (module S)
@@ -66,3 +82,7 @@ let depth (p : packed) =
 let is_fair (p : packed) =
   let (module L) = p in
   L.fair
+
+let is_abortable (p : packed) =
+  let (module L) = p in
+  L.abortable

@@ -7,7 +7,7 @@ let numa_of_cohort topo lvl cohort =
 
 module Base (B : Clof_locks.Lock_intf.S) = struct
   type t = { lock : B.t; topo : Topology.t }
-  type ctx = B.ctx
+  type ctx = { b_ctx : B.ctx; mutable sink : Clof_stats.Stats.Sink.t }
 
   let name = B.name
   let fair = B.fair
@@ -23,13 +23,22 @@ module Base (B : Clof_locks.Lock_intf.S) = struct
 
   let ctx_create t ~cpu =
     let node = Topology.cohort_of t.topo Level.Numa_node cpu in
-    B.ctx_create ~node t.lock
+    { b_ctx = B.ctx_create ~node t.lock; sink = Clof_stats.Stats.Sink.null }
 
-  (* the root basic lock has no cohort passing to observe *)
-  let set_sink _ctx _sink = ()
+  (* the root basic lock has no cohort passing to observe, but timed
+     waits abandoned here are recorded at level 0 (the tree root) *)
+  let set_sink ctx sink = ctx.sink <- sink
 
-  let acquire t ctx = B.acquire t.lock ctx
-  let release t ctx = B.release t.lock ctx
+  let acquire t ctx = B.acquire t.lock ctx.b_ctx
+  let release t ctx = B.release t.lock ctx.b_ctx
+
+  let abortable = B.abortable
+
+  let try_acquire t ctx ~deadline =
+    B.try_acquire t.lock ctx.b_ctx ~deadline
+    ||
+    (Clof_stats.Stats.Sink.abort ctx.sink ~level:0;
+     false)
 end
 
 module Compose
@@ -188,5 +197,57 @@ struct
       High.set_sink m.high_ctx ctx.sink;
       High.release t.high m.high_ctx;
       Low.release low ctx.low_ctx
+    end
+
+  let abortable = Low.abortable && High.abortable
+
+  (* A waiter that times out after the holder committed to passing
+     (has_waiters was read true, the pass flag set, Low released)
+     leaves the high lock parked in [m.high_locked] with nobody
+     waiting to claim it. The flag is sticky — any later arrival
+     inherits the pass normally — but if no one ever arrives the high
+     lock is withheld from other cohorts. Best-effort recovery: after
+     recording the abort, peek at the flag; if set, try to grab the
+     low lock with an already-expired deadline (a trylock). Success
+     means we are now the low owner: re-read the flag (owner-only
+     state, so this read is authoritative) and, if the pass really
+     landed, take ownership and release properly outward. *)
+  let rescue t ctx =
+    let low = t.lows.(ctx.cohort) and m = t.metas.(ctx.cohort) in
+    if
+      M.load ~o:Acquire m.high_locked
+      && Low.try_acquire low ctx.low_ctx ~deadline:(M.now ())
+    then begin
+      ctx.got_passed <- M.load ~o:Acquire m.high_locked;
+      if ctx.got_passed then release t ctx
+      else Low.release low ctx.low_ctx
+    end
+
+  let try_acquire t ctx ~deadline =
+    let low = t.lows.(ctx.cohort) and m = t.metas.(ctx.cohort) in
+    if counted then ignore (M.fetch_add m.waiters 1);
+    let got_low = Low.try_acquire low ctx.low_ctx ~deadline in
+    if counted then ignore (M.fetch_add m.waiters (-1));
+    if not got_low then begin
+      Clof_stats.Stats.Sink.abort ctx.sink ~level:stats_level;
+      rescue t ctx;
+      false
+    end
+    else begin
+      ctx.got_passed <- M.load ~o:Acquire m.high_locked;
+      if ctx.got_passed then true
+      else begin
+        High.set_sink m.high_ctx ctx.sink;
+        if High.try_acquire t.high m.high_ctx ~deadline then true
+        else begin
+          (* High recorded its own abort at its level. We hold only
+             the low lock; hand it back *without* setting the pass
+             flag — it can only be true here if we set it, and we
+             never reached ownership — so the next low owner goes to
+             acquire High itself, exactly as after a fresh start. *)
+          Low.release low ctx.low_ctx;
+          false
+        end
+      end
     end
 end

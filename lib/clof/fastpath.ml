@@ -43,4 +43,37 @@ module Make (M : Clof_atomics.Memory_intf.S) (L : Clof_intf.S) = struct
     end
 
   let release t _ctx = M.store ~o:Release t.word false
+
+  let abortable = L.abortable
+
+  let try_acquire t ctx ~deadline =
+    if M.cas t.word ~expected:false ~desired:true then begin
+      Sink.fast_path ctx.sink;
+      true
+    end
+    else begin
+      Sink.contended ctx.sink;
+      if not (L.try_acquire t.slow ctx.inner ~deadline) then false
+      else begin
+        (* we hold the slow lock: compete with bargers for the word
+           until the deadline, then hand the slow lock back — a
+           timed-out caller owns nothing *)
+        let rec go () =
+          match M.await_until t.word ~deadline (fun held -> not held) with
+          | None ->
+              L.release t.slow ctx.inner;
+              false
+          | Some _ ->
+              if M.cas t.word ~expected:false ~desired:true then begin
+                L.release t.slow ctx.inner;
+                true
+              end
+              else begin
+                Sink.spin ctx.sink 1;
+                go ()
+              end
+        in
+        go ()
+      end
+    end
 end

@@ -1,7 +1,12 @@
-type handle = { acquire : unit -> unit; release : unit -> unit }
+type handle = {
+  acquire : unit -> unit;
+  release : unit -> unit;
+  try_acquire : deadline:int -> bool;
+}
 
 type lock = {
   l_name : string;
+  l_abortable : bool;
   handle : ?stats:Clof_stats.Stats.recorder -> cpu:int -> unit -> handle;
 }
 
@@ -19,6 +24,7 @@ let of_clof ?h ~hierarchy (packed : Clof_intf.packed) =
         let t = L.create ?h ~topo ~hierarchy () in
         {
           l_name = L.name;
+          l_abortable = L.abortable;
           handle =
             (fun ?stats ~cpu () ->
               let ctx = L.ctx_create t ~cpu in
@@ -29,6 +35,8 @@ let of_clof ?h ~hierarchy (packed : Clof_intf.packed) =
               {
                 acquire = (fun () -> L.acquire t ctx);
                 release = (fun () -> L.release t ctx);
+                try_acquire =
+                  (fun ~deadline -> L.try_acquire t ctx ~deadline);
               });
         })
   }
@@ -42,6 +50,7 @@ let of_basic (type a) (packed : a Clof_locks.Lock_intf.packed) =
         let t = B.create ~node:0 () in
         {
           l_name = B.name;
+          l_abortable = B.abortable;
           handle =
             (fun ?stats:_ ~cpu () ->
               (* basic locks have no internal instrumentation points;
@@ -51,6 +60,8 @@ let of_basic (type a) (packed : a Clof_locks.Lock_intf.packed) =
               {
                 acquire = (fun () -> B.acquire t ctx);
                 release = (fun () -> B.release t ctx);
+                try_acquire =
+                  (fun ~deadline -> B.try_acquire t ctx ~deadline);
               });
         })
   }

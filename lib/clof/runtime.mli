@@ -9,11 +9,23 @@
 type handle = {
   acquire : unit -> unit;
   release : unit -> unit;
+  try_acquire : deadline:int -> bool;
+      (** Timed acquisition: [true] grants ownership exactly as
+          [acquire]; [false] means the deadline (virtual ns) passed
+          first and the caller owns nothing. Locks without timeout
+          support expose a blocking fallback that always returns
+          [true] — check {!lock.l_abortable} before relying on
+          bounded waits. *)
 }
 (** Per-thread view of a lock, with the context already bound. *)
 
 type lock = {
   l_name : string;
+  l_abortable : bool;
+      (** Whether [try_acquire] truly abandons bounded waits at every
+          level (see {!Clof_locks.Lock_intf.S.abortable}); [false] for
+          polling fallbacks and for baselines whose [try_acquire]
+          blocks. *)
   handle : ?stats:Clof_stats.Stats.recorder -> cpu:int -> unit -> handle;
       (** Create this thread's context; call once per thread. [stats]
           installs the thread's observability recorder into the

@@ -562,6 +562,202 @@ let stats_exp ppf () =
       clof_spec p 4;
     ]
 
+(* ---------- fault injection (robustness harness) ---------- *)
+
+type fault_class = Recovered | Degraded | Wedged
+
+let class_to_string = function
+  | Recovered -> "recovered"
+  | Degraded -> "degraded"
+  | Wedged -> "wedged"
+
+type fault_cell = {
+  fc_fault : string;
+  fc_class : fault_class;
+  fc_timeouts : int;
+  fc_hung : bool;
+}
+
+type fault_row = {
+  fr_lock : string;
+  fr_fair : bool;
+  fr_abortable : bool;
+  fr_cells : fault_cell list;
+}
+
+(* Lighter contention than the throughput benchmarks: the no-fault
+   column must come out healthy for every lock, including the
+   polling-emulated timed paths, so each attempt needs a clear shot at
+   the lock well inside its deadline. *)
+let fault_params () =
+  {
+    W.duration = (if !quick then 250_000 else 600_000);
+    cs_reads = 2;
+    cs_writes = 2;
+    cs_work = 80;
+    noncs_work = 8_000;
+  }
+
+let fault_deadline = 20_000
+let fault_nthreads = 8
+
+(* Fault points are op counts into the victim's deterministic schedule;
+   by op 25-40 every thread is deep in lock traffic, so the stall or
+   crash lands while queued, spinning, or holding — which one is fixed
+   per (lock, fault) cell and reproducible. *)
+let fault_scenarios =
+  let open Clof_sim.Engine in
+  [
+    ("none", []);
+    ("stall-t3", [ Stall { tid = 3; at_op = 40; ns = 50_000 } ]);
+    ("stall-t0", [ Stall { tid = 0; at_op = 25; ns = 50_000 } ]);
+    ("crash-t3", [ Crash { tid = 3; at_op = 40 } ]);
+  ]
+
+(* - wedged: the run hung or livelocked, or a surviving thread stopped
+     completing operations long before the end (a dead lock the
+     remaining threads merely time out against looks like this);
+   - degraded: the system kept going but lost the crashed thread;
+   - recovered: every surviving thread was still making progress at
+     the end — timed-out attempts during the fault window are the
+     recovery mechanism, not a failure, and are reported alongside. *)
+let classify (p : W.params) (r : W.result) =
+  let margin = 3 * (fault_deadline + p.W.noncs_work) in
+  let stuck =
+    let any = ref false in
+    Array.iteri
+      (fun tid last ->
+        if
+          (not (List.mem tid r.W.crashed))
+          && last < r.W.sim_ns - margin
+        then any := true)
+      r.W.last_progress;
+    !any
+  in
+  if r.W.hung || r.W.aborted || stuck then Wedged
+  else if r.W.crashed <> [] then Degraded
+  else Recovered
+
+let fault_panel () =
+  let p = Platform.x86 in
+  let basic pk =
+    ( RT.of_basic pk,
+      Clof_locks.Lock_intf.is_fair pk,
+      Clof_locks.Lock_intf.is_abortable pk )
+  in
+  let clof2 pks =
+    let packed = G.build pks in
+    ( RT.of_clof ~hierarchy:(Platform.hier2 p) packed,
+      Clof_core.Clof_intf.is_fair packed,
+      Clof_core.Clof_intf.is_abortable packed )
+  in
+  ( p,
+    [
+      basic R.ticket;
+      basic R.mcs;
+      basic R.clh;
+      basic (R.hemlock ~ctr:false ());
+      basic R.tas;
+      clof2 [ R.mcs; R.mcs ];
+      clof2 [ R.clh; R.clh ];
+      clof2 [ R.ticket; R.clh ];
+      (Hmcs.spec ~hierarchy:(Platform.hier2 p) (), true, false);
+    ] )
+
+let fault_matrix_memo : fault_row list option ref = ref None
+
+let fault_matrix () =
+  match !fault_matrix_memo with
+  | Some m -> m
+  | None ->
+      let platform, panel = fault_panel () in
+      let params = fault_params () in
+      let m =
+        List.map
+          (fun (spec, fair, abortable) ->
+            let cells =
+              List.map
+                (fun (fname, faults) ->
+                  let r =
+                    W.run ~check:false ~faults ~deadline:fault_deadline
+                      ~platform ~nthreads:fault_nthreads ~spec params
+                  in
+                  {
+                    fc_fault = fname;
+                    fc_class = classify params r;
+                    fc_timeouts = Clof_stats.Stats.timeouts r.W.stats;
+                    fc_hung = r.W.hung;
+                  })
+                fault_scenarios
+            in
+            {
+              fr_lock = spec.RT.s_name;
+              fr_fair = fair;
+              fr_abortable = abortable;
+              fr_cells = cells;
+            })
+          panel
+      in
+      fault_matrix_memo := Some m;
+      m
+
+let is_stall f = String.length f >= 5 && String.sub f 0 5 = "stall"
+
+let fault_gate rows =
+  List.concat_map
+    (fun row ->
+      if not row.fr_fair then []
+      else
+        List.filter_map
+          (fun c ->
+            if is_stall c.fc_fault && c.fc_class = Wedged then
+              Some (row.fr_lock, c.fc_fault)
+            else None)
+          row.fr_cells)
+    rows
+
+let faults ppf () =
+  Format.pp_print_string ppf
+    (Render.section
+       "Fault injection: stalls and crashes vs the lock panel (timed \
+        acquisition, 8T x86)");
+  Format.fprintf ppf
+    "per-attempt deadline %d ns; stalls preempt the victim %d ns at \
+     its n-th atomic op; cells show class(timed-out attempts), '!' = \
+     engine reported hung@."
+    fault_deadline 50_000;
+  let rows =
+    List.map
+      (fun row ->
+        let label =
+          Printf.sprintf "%s%s" row.fr_lock
+            (if row.fr_abortable then " [abort]" else "")
+        in
+        let cells =
+          List.map
+            (fun c ->
+              Printf.sprintf "%s(%d)%s"
+                (class_to_string c.fc_class)
+                c.fc_timeouts
+                (if c.fc_hung then "!" else ""))
+            row.fr_cells
+        in
+        (label, cells))
+      (fault_matrix ())
+  in
+  let header = "lock" :: List.map fst fault_scenarios in
+  Format.pp_print_string ppf (Render.text_table ~header ~rows);
+  match fault_gate (fault_matrix ()) with
+  | [] ->
+      Format.fprintf ppf
+        "gate: no fair lock wedged under a transient stall@."
+  | bad ->
+      List.iter
+        (fun (lock, fault) ->
+          Format.fprintf ppf "gate VIOLATION: %s wedged under %s@." lock
+            fault)
+        bad
+
 let discover ppf () =
   Format.pp_print_string ppf
     (Render.section "Hierarchy discovery (Figure 5, first step)");
@@ -595,6 +791,7 @@ let ids =
     ("locality", "cache-line transfer distances per lock (keep_local observed)");
     ("stats", "per-level lock counters: handover locality, keep_local, latency");
     ("fastpath", "TAS fast-path extension ablation (paper 6)");
+    ("faults", "stall/crash injection matrix with recovery classification");
     ("discover", "automated hierarchy inference (Figure 5)");
   ]
 
@@ -619,6 +816,7 @@ let run ppf = function
   | "locality" -> locality ppf (); true
   | "stats" -> stats_exp ppf (); true
   | "fastpath" -> fastpath ppf (); true
+  | "faults" -> faults ppf (); true
   | "discover" -> discover ppf (); true
   | _ -> false
 

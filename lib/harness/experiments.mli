@@ -7,6 +7,53 @@ val set_quick : bool -> unit
 (** Quick mode: shorter simulated durations, coarser heatmap sampling,
     smaller thread grids — for smoke-testing the full pipeline. *)
 
+(** {2 Fault-injection watchdog}
+
+    The [faults] experiment runs a lock panel under timed acquisition
+    while injecting scheduler faults ({!Clof_sim.Engine.fault}) and
+    classifies every (lock, fault) cell. The classification and the
+    raw matrix are exposed so the CI gate ([clof_bench faults]) and the
+    tests can assert on them without re-parsing rendered tables. *)
+
+type fault_class =
+  | Recovered
+      (** every surviving thread was still completing operations at the
+          end of the run; timed-out attempts during the fault window
+          (reported alongside) are the recovery mechanism at work *)
+  | Degraded
+      (** the run stayed healthy but permanently lost a crashed
+          thread's capacity *)
+  | Wedged
+      (** the run hung or livelocked, or a surviving thread stopped
+          making progress — e.g. the lock died with a crashed owner and
+          everyone else only times out against it *)
+
+val class_to_string : fault_class -> string
+
+type fault_cell = {
+  fc_fault : string;  (** scenario name, ["none"] for the baseline *)
+  fc_class : fault_class;
+  fc_timeouts : int;  (** timed acquisitions that hit their deadline *)
+  fc_hung : bool;  (** the simulator's blocked-forever verdict *)
+}
+
+type fault_row = {
+  fr_lock : string;
+  fr_fair : bool;
+  fr_abortable : bool;
+      (** true-abort [try_acquire] at every level (see
+          {!Clof_locks.Lock_intf.S.abortable}) *)
+  fr_cells : fault_cell list;
+}
+
+val fault_matrix : unit -> fault_row list
+(** The full (lock x fault) sweep; memoized within the process. *)
+
+val fault_gate : fault_row list -> (string * string) list
+(** [(lock, fault)] pairs where a {e fair} lock classified {!Wedged}
+    under a transient stall — the condition the CI smoke job fails
+    on. Empty means the gate passes. *)
+
 val ids : (string * string) list
 (** [(id, description)] of every experiment, in DESIGN.md order. *)
 

@@ -23,6 +23,37 @@ let table ~header ~rows =
     rows;
   Buffer.contents buf
 
+let text_table ~header ~rows =
+  let ncols = List.length header in
+  let width i =
+    let of_row cells =
+      match List.nth_opt cells i with
+      | Some c -> String.length c
+      | None -> 0
+    in
+    List.fold_left
+      (fun w (label, cells) ->
+        max w (of_row (label :: cells)))
+      (match List.nth_opt header i with
+      | Some h -> String.length h
+      | None -> 0)
+      rows
+  in
+  let widths = List.init ncols width in
+  let buf = Buffer.create 1024 in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i in
+        if i = 0 then Buffer.add_string buf (Printf.sprintf "%-*s" (w + 2) c)
+        else Buffer.add_string buf (Printf.sprintf "  %*s" w c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  List.iter (fun (label, cells) -> line (label :: cells)) rows;
+  Buffer.contents buf
+
 let shades = " .:-=+*#%@"
 
 let heatmap f ~n =

@@ -43,5 +43,29 @@ struct
       ignore (M.await c.grant (fun g -> g = 0))
     end
 
+  let abortable = false
+
+  (* Hemlock cannot support MCS-TP-style queue abandonment: the queue
+     is implicit (no successor pointers), so a releaser that published
+     its grant word has no way to find the next live waiter if its
+     direct successor departs — the grant/ack handshake deadlocks.
+     Timeout therefore never joins the queue at all: it polls the tail
+     for emptiness (trylock style) until the deadline, which is always
+     safe and leaves nothing behind, at the cost of never waiting in
+     line. *)
+  let try_acquire t c ~deadline =
+    let rec go () =
+      if
+        M.load ~o:Relaxed t.tail == t.nil
+        && M.cas t.tail ~expected:t.nil ~desired:c
+      then true
+      else if M.now () >= deadline then false
+      else begin
+        M.pause ();
+        go ()
+      end
+    in
+    go ()
+
   let has_waiters = Some (fun t c -> not (M.load ~o:Relaxed t.tail == c))
 end

@@ -45,10 +45,31 @@ module type S = sig
   val acquire : t -> ctx -> unit
   val release : t -> ctx -> unit
 
+  val abortable : bool
+  (** True when {!try_acquire} abandons a queue position outright in
+      the MCS-TP style (MCS, CLH): a timed-out waiter leaves no stale
+      node reachable and waiters behind it are unaffected. False for
+      locks whose [try_acquire] merely polls until the deadline
+      (ticket, the TAS family, and Hemlock, whose implicit queue makes
+      abandonment unsound — see {!Hemlock}) — still correct and
+      non-blocking, but a waiting slot is never "given up" because
+      none is ever held. *)
+
+  val try_acquire : t -> ctx -> deadline:int -> bool
+  (** Bounded acquisition: returns [true] holding the lock, or [false]
+      — without the lock, with [ctx] reusable — once the backend clock
+      {!Clof_atomics.Memory_intf.S.now} reaches [deadline] (absolute,
+      virtual ns). The context invariant applies exactly as for
+      {!acquire}; after [false] the same context may immediately retry
+      or acquire a different lock. *)
+
   val has_waiters : (t -> ctx -> bool) option
   (** Algorithm-specific cheap detection of waiting threads, callable
       only by the current owner ([ctx] is the owner's context). When
-      [None], CLoF maintains its own waiter counter (Section 4.1.2). *)
+      [None], CLoF maintains its own waiter counter (Section 4.1.2).
+      May overcount timed-out waiters that have not yet been skipped by
+      a release — a transient fairness pessimisation, never a safety
+      issue. *)
 end
 
 (** A basic lock packed as a first-class module, for the runtime
@@ -63,3 +84,7 @@ let name (type a) (p : a packed) =
 let is_fair (type a) (p : a packed) =
   let (module B) = p in
   B.fair
+
+let is_abortable (type a) (p : a packed) =
+  let (module B) = p in
+  B.abortable

@@ -54,5 +54,31 @@ struct
     wait ()
 
   let release t me = M.store ~o:Release t.flag.(me) false
+  let abortable = false
+
+  (* Timeout retracts our intent flag, so the peer's wait loop is
+     released — a timed-out Peterson contender leaves no trace. *)
+  let try_acquire t me ~deadline =
+    let other = 1 - me in
+    M.store ~o:Relaxed t.flag.(me) true;
+    M.store ~o:Relaxed t.turn other;
+    if Cfg.fenced then M.fence ();
+    let rec wait () =
+      if
+        M.load ~o:Acquire t.flag.(other)
+        && M.load ~o:Acquire t.turn = other
+      then
+        if M.now () >= deadline then begin
+          M.store ~o:Release t.flag.(me) false;
+          false
+        end
+        else begin
+          M.pause ();
+          wait ()
+        end
+      else true
+    in
+    wait ()
+
   let has_waiters = None
 end

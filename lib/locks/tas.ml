@@ -22,5 +22,18 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     go ()
 
   let release t () = M.store ~o:Release t.flag false
+  let abortable = false
+
+  let try_acquire t () ~deadline =
+    let rec go () =
+      if M.cas t.flag ~expected:false ~desired:true then true
+      else if M.now () >= deadline then false
+      else begin
+        M.pause ();
+        go ()
+      end
+    in
+    go ()
+
   let has_waiters = None
 end

@@ -27,6 +27,28 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     let g = M.load ~o:Relaxed t.grant in
     M.store ~o:Release t.grant (g + 1)
 
+  let abortable = false
+
+  (* Polling timeout: never join the queue while the lock is busy.
+     Take a ticket only when [next = grant] (lock free) and do it with
+     a CAS rather than fetch_add, so a loser retries instead of holding
+     a ticket it would have to wait out. When the CAS succeeds our
+     ticket g satisfies grant = g: tickets 0..g-1 were all released
+     (we read grant = g) and no new holder can advance grant before
+     ticket g is issued — so the CAS wins the lock outright. *)
+  let try_acquire t () ~deadline =
+    let rec go () =
+      let g = M.load t.grant in
+      let n = M.load ~o:Relaxed t.next in
+      if n = g && M.cas t.next ~expected:g ~desired:(g + 1) then true
+      else if M.now () >= deadline then false
+      else begin
+        M.pause ();
+        go ()
+      end
+    in
+    go ()
+
   let has_waiters =
     Some
       (fun t () ->

@@ -5,17 +5,26 @@ type access =
   | Store of { rmw : bool; order : Clof_atomics.Memory_order.t }
   | Rmw of { wrote : bool }
 
+type fault =
+  | Stall of { tid : int; at_op : int; ns : int }
+  | Crash of { tid : int; at_op : int }
+
+type injected = { i_tid : int; i_op : int; i_time : int; i_kind : string }
+
 type outcome = {
   end_time : int;
   hung : bool;
   aborted : bool;
   blocked : (int * string) list;
   transfers : (Level.proximity * int) list;
+  injected : injected list;
+  crashed : int list;
 }
 
 type _ Effect.t +=
   | E_access : Line.t * access -> unit Effect.t
   | E_await : Line.t * bool * (unit -> bool) -> unit Effect.t
+  | E_await_until : Line.t * bool * (unit -> bool) * int -> bool Effect.t
   | E_fence : unit Effect.t
   | E_pause : unit Effect.t
   | E_work : int -> unit Effect.t
@@ -24,14 +33,20 @@ type _ Effect.t +=
   | E_tid : int Effect.t
   | E_cpu : int Effect.t
 
-type thread = { t_id : int; t_cpu : int; mutable time : int }
+type thread = {
+  t_id : int;
+  t_cpu : int;
+  mutable time : int;
+  mutable ops : int; (* atomic operations performed (fault anchors) *)
+}
 
 type watcher = {
   w_thread : thread;
   w_line : Line.t;
   w_pred : unit -> bool;
   w_rmw : bool;
-  w_k : (unit, unit) Effect.Deep.continuation;
+  mutable w_done : bool; (* resumed (wake or timeout); entry is stale *)
+  w_continue : bool -> unit; (* true = pred holds, false = timed out *)
 }
 
 type cpu_state = { mutable busy_until : int; mutable last : int }
@@ -46,6 +61,9 @@ type state = {
   mutable live : int;
   mutable max_time : int;
   hist : int array; (* line transfers by proximity rank *)
+  mutable pending_faults : fault list;
+  mutable injected : injected list;
+  mutable crashed : int list;
 }
 
 (* Charge [cost] ns to [th], serializing green threads that share a CPU
@@ -176,6 +194,52 @@ let write_cost st th (line : Line.t) ~is_rmw ~order =
   in
   (thread_cost, (if is_rmw then 0 else transfer), not local)
 
+(* ---------- fault injection ----------
+
+   Faults anchor to a thread's n-th atomic operation (accesses and
+   await registrations count; pure compute does not). A [Stall] models
+   preemption: the thread's clock jumps by [ns] while its CPU stays
+   free for siblings. A [Crash] drops the thread's continuation on the
+   floor — no unwinding, no cleanup, exactly like a thread dying while
+   holding or waiting for a lock. *)
+
+let record_fault st th kind =
+  st.injected <-
+    { i_tid = th.t_id; i_op = th.ops; i_time = th.time; i_kind = kind }
+    :: st.injected
+
+(* Returns [`Crash] when the thread must die at this op. Consumes every
+   fault that matches (thread, op index). *)
+let check_faults st th =
+  match st.pending_faults with
+  | [] -> `Run
+  | faults ->
+      let verdict = ref `Run in
+      let remaining =
+        List.filter
+          (fun f ->
+            match f with
+            | Stall { tid; at_op; ns } when tid = th.t_id && at_op = th.ops
+              ->
+                th.time <- th.time + max 0 ns;
+                if th.time > st.max_time then st.max_time <- th.time;
+                record_fault st th "stall";
+                false
+            | Crash { tid; at_op } when tid = th.t_id && at_op = th.ops ->
+                record_fault st th "crash";
+                verdict := `Crash;
+                false
+            | Stall _ | Crash _ -> true)
+          faults
+      in
+      st.pending_faults <- remaining;
+      !verdict
+
+(* The thread dies here: its continuation is dropped, never resumed. *)
+let kill st th =
+  st.live <- st.live - 1;
+  st.crashed <- th.t_id :: st.crashed
+
 let find_watchers st (line : Line.t) =
   match Hashtbl.find_opt st.watchers line.id with
   | Some r -> r
@@ -194,25 +258,41 @@ let wake_watchers st (line : Line.t) writer =
   | None -> ()
   | Some lst ->
       let keep w =
-        let d = Topology.proximity st.topo writer.t_cpu w.w_thread.t_cpu in
-        count_transfer st d;
-        let slot =
-          max writer.time line.busy_until + st.costs.transfer d
-        in
-        line.busy_until <- slot;
-        if not w.w_rmw then Cpuset.add line.sharers w.w_thread.t_cpu;
-        if w.w_pred () then begin
-          if w.w_rmw then line.rmw_watchers <- line.rmw_watchers - 1;
-          if slot > w.w_thread.time then w.w_thread.time <- slot;
-          if w.w_thread.time > st.max_time then
-            st.max_time <- w.w_thread.time;
-          Pqueue.add st.q w.w_thread.time (fun () ->
-              Effect.Deep.continue w.w_k ());
-          false
+        if w.w_done then false (* already timed out; drop the stale entry *)
+        else begin
+          let d =
+            Topology.proximity st.topo writer.t_cpu w.w_thread.t_cpu
+          in
+          count_transfer st d;
+          let slot =
+            max writer.time line.busy_until + st.costs.transfer d
+          in
+          line.busy_until <- slot;
+          if not w.w_rmw then Cpuset.add line.sharers w.w_thread.t_cpu;
+          if w.w_pred () then begin
+            w.w_done <- true;
+            if w.w_rmw then line.rmw_watchers <- line.rmw_watchers - 1;
+            if slot > w.w_thread.time then w.w_thread.time <- slot;
+            if w.w_thread.time > st.max_time then
+              st.max_time <- w.w_thread.time;
+            Pqueue.add st.q w.w_thread.time (fun () -> w.w_continue true);
+            false
+          end
+          else true
         end
-        else true
       in
       lst := List.filter keep !lst
+
+(* Deadline event for a timed watcher: if the wake did not beat the
+   clock, resume the thread with [false] at exactly [deadline]. *)
+let fire_timeout st w deadline =
+  if not w.w_done then begin
+    w.w_done <- true;
+    if w.w_rmw then w.w_line.rmw_watchers <- w.w_line.rmw_watchers - 1;
+    if deadline > w.w_thread.time then w.w_thread.time <- deadline;
+    if w.w_thread.time > st.max_time then st.max_time <- w.w_thread.time;
+    w.w_continue false
+  end
 
 let handle_access st th line acc =
   let cost, occupancy, miss =
@@ -250,28 +330,79 @@ let spawn st th body =
           | E_access (line, acc) ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  handle_access st th line acc;
-                  resume_later (fun () -> Effect.Deep.continue k ()))
+                  th.ops <- th.ops + 1;
+                  match check_faults st th with
+                  | `Crash ->
+                      (* the faulted op itself completes — sim_mem has
+                         already made the value visible, so watchers
+                         must still be woken — and the thread dies at
+                         the op boundary, never resumed *)
+                      handle_access st th line acc;
+                      kill st th
+                  | `Run ->
+                      handle_access st th line acc;
+                      resume_later (fun () -> Effect.Deep.continue k ()))
           | E_await (line, rmw, pred) ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  let cost, miss = read_cost st th line in
-                  advance_on_line st th line ~miss cost;
-                  if pred () then
-                    resume_later (fun () -> Effect.Deep.continue k ())
-                  else begin
-                    if rmw then line.rmw_watchers <- line.rmw_watchers + 1;
-                    let r = find_watchers st line in
-                    r :=
-                      {
-                        w_thread = th;
-                        w_line = line;
-                        w_pred = pred;
-                        w_rmw = rmw;
-                        w_k = k;
-                      }
-                      :: !r
-                  end)
+                  th.ops <- th.ops + 1;
+                  match check_faults st th with
+                  | `Crash -> kill st th
+                  | `Run ->
+                      let cost, miss = read_cost st th line in
+                      advance_on_line st th line ~miss cost;
+                      if pred () then
+                        resume_later (fun () -> Effect.Deep.continue k ())
+                      else begin
+                        if rmw then
+                          line.rmw_watchers <- line.rmw_watchers + 1;
+                        let r = find_watchers st line in
+                        r :=
+                          {
+                            w_thread = th;
+                            w_line = line;
+                            w_pred = pred;
+                            w_rmw = rmw;
+                            w_done = false;
+                            w_continue =
+                              (fun _ -> Effect.Deep.continue k ());
+                          }
+                          :: !r
+                      end)
+          | E_await_until (line, rmw, pred, deadline) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  th.ops <- th.ops + 1;
+                  match check_faults st th with
+                  | `Crash -> kill st th
+                  | `Run ->
+                      let cost, miss = read_cost st th line in
+                      advance_on_line st th line ~miss cost;
+                      if pred () then
+                        resume_later (fun () ->
+                            Effect.Deep.continue k true)
+                      else if th.time >= deadline then
+                        resume_later (fun () ->
+                            Effect.Deep.continue k false)
+                      else begin
+                        if rmw then
+                          line.rmw_watchers <- line.rmw_watchers + 1;
+                        let w =
+                          {
+                            w_thread = th;
+                            w_line = line;
+                            w_pred = pred;
+                            w_rmw = rmw;
+                            w_done = false;
+                            w_continue =
+                              (fun ok -> Effect.Deep.continue k ok);
+                          }
+                        in
+                        let r = find_watchers st line in
+                        r := w :: !r;
+                        Pqueue.add st.q deadline (fun () ->
+                            fire_timeout st w deadline)
+                      end)
           | E_fence ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
@@ -306,7 +437,7 @@ let spawn st th body =
           | _ -> None);
     }
 
-let run ?(duration = 1_000_000) ~platform ~threads () =
+let run ?(duration = 1_000_000) ?(faults = []) ~platform ~threads () =
   if !instance <> None then
     invalid_arg "Engine.run: already inside a simulation";
   let topo = platform.Platform.topo in
@@ -323,6 +454,9 @@ let run ?(duration = 1_000_000) ~platform ~threads () =
       live = List.length threads;
       max_time = 0;
       hist = Array.make (List.length all_proximities) 0;
+      pending_faults = faults;
+      injected = [];
+      crashed = [];
     }
   in
   instance := Some st;
@@ -332,7 +466,7 @@ let run ?(duration = 1_000_000) ~platform ~threads () =
         (fun i (cpu, body) ->
           if cpu < 0 || cpu >= Topology.ncpus topo then
             invalid_arg (Printf.sprintf "Engine.run: cpu %d out of range" cpu);
-          let th = { t_id = i; t_cpu = cpu; time = 0 } in
+          let th = { t_id = i; t_cpu = cpu; time = 0; ops = 0 } in
           Pqueue.add st.q 0 (fun () -> spawn st th body))
         threads;
       (* Watchdog against livelocks in code under test: a correct
@@ -356,17 +490,25 @@ let run ?(duration = 1_000_000) ~platform ~threads () =
         Hashtbl.fold
           (fun _ lst acc ->
             List.fold_left
-              (fun acc w -> (w.w_thread.t_id, w.w_line.Line.name) :: acc)
+              (fun acc w ->
+                if w.w_done then acc
+                else (w.w_thread.t_id, w.w_line.Line.name) :: acc)
               acc !lst)
           st.watchers []
       in
+      let crashed = List.sort_uniq compare st.crashed in
       {
         end_time = st.max_time;
+        (* crashed threads are accounted for separately: they are dead,
+           not wedged — [hung] flags only threads that still wanted to
+           run *)
         hung = st.live > 0 && not !aborted;
         aborted = !aborted;
         blocked = List.sort compare blocked;
         transfers =
           List.mapi (fun i p -> (p, st.hist.(i))) all_proximities;
+        injected = List.rev st.injected;
+        crashed;
       })
 
 let now () = Effect.perform E_now
@@ -375,6 +517,9 @@ let tid () = Effect.perform E_tid
 let cpu () = Effect.perform E_cpu
 let access line acc = Effect.perform (E_access (line, acc))
 let await_line line ~rmw pred = Effect.perform (E_await (line, rmw, pred))
+
+let await_line_until line ~rmw ~deadline pred =
+  Effect.perform (E_await_until (line, rmw, pred, deadline))
 let fence () = Effect.perform E_fence
 let pause () = Effect.perform E_pause
 let work ns = Effect.perform (E_work ns)

@@ -18,11 +18,35 @@ type access =
   | Store of { rmw : bool; order : Clof_atomics.Memory_order.t }
   | Rmw of { wrote : bool }
 
+type fault =
+  | Stall of { tid : int; at_op : int; ns : int }
+      (** Preempt thread [tid] at its [at_op]-th atomic operation: its
+          virtual clock jumps forward by [ns] while the CPU stays free
+          — a simulated interrupt, page fault or involuntary context
+          switch. The op itself still executes, after the stall. *)
+  | Crash of { tid : int; at_op : int }
+      (** Kill thread [tid] at its [at_op]-th atomic operation: the
+          continuation is dropped with no unwinding, modelling a thread
+          dying while holding or waiting for a lock. A crash lands
+          between atomic ops, never inside one: the faulted op
+          completes — a store stays visible and wakes its watchers —
+          and the thread dies at the op boundary. A crash at a waiting
+          op removes the thread without leaving it a registered
+          waiter. *)
+
+type injected = {
+  i_tid : int;  (** thread the fault hit *)
+  i_op : int;  (** its atomic-op counter at injection *)
+  i_time : int;  (** its virtual clock after injection, ns *)
+  i_kind : string;  (** ["stall"] or ["crash"] *)
+}
+
 type outcome = {
   end_time : int;  (** largest virtual clock reached, ns *)
   hung : bool;
       (** true when threads remained blocked with no pending event — a
-          lost-wakeup or deadlock in the code under simulation *)
+          lost-wakeup or deadlock in the code under simulation.
+          Crashed threads do not count: they are dead, not wedged. *)
   aborted : bool;
       (** true when the run overshot 64x its duration and was cut off —
           a livelock in the code under simulation *)
@@ -31,10 +55,16 @@ type outcome = {
   transfers : (Clof_topology.Level.proximity * int) list;
       (** cache-line transfers by distance class — the direct evidence
           of a lock's handover locality (innermost class first) *)
+  injected : injected list;
+      (** per-fault accounting, in injection order: every requested
+          fault that actually fired (a fault whose thread never reaches
+          [at_op] operations silently does not fire) *)
+  crashed : int list;  (** tids killed by [Crash] faults *)
 }
 
 val run :
   ?duration:int ->
+  ?faults:fault list ->
   platform:Clof_topology.Platform.t ->
   threads:(int * (int -> unit)) list ->
   unit ->
@@ -43,7 +73,9 @@ val run :
     body)] pair at virtual time 0 and executes until all finish.
     [duration] (default 1 ms) only controls {!running}; bodies are
     expected to loop [while running () do ... done] and drain
-    naturally. Bodies receive their thread id.
+    naturally. Bodies receive their thread id. [faults] are injected at
+    the named threads' atomic-op counts (accesses and await
+    registrations count as ops; pure compute does not).
     @raise Invalid_argument on a CPU out of range, or when called from
     inside a simulation. *)
 
@@ -69,6 +101,12 @@ val access : Line.t -> access -> unit
 val await_line : Line.t -> rmw:bool -> (unit -> bool) -> unit
 (** Block until a write to the line makes the predicate true (checked
     once immediately). Used by {!Sim_mem}. *)
+
+val await_line_until : Line.t -> rmw:bool -> deadline:int -> (unit -> bool) -> bool
+(** Like {!await_line} but bounded: returns [true] when a write made
+    the predicate hold, [false] when the thread's clock reached
+    [deadline] (absolute, virtual ns) first — the thread resumes at
+    exactly [deadline] in that case. Used by {!Sim_mem}. *)
 
 val fence : unit -> unit
 val pause : unit -> unit

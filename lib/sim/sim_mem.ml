@@ -60,3 +60,20 @@ let await ?(rmw = false) r pred =
 
 let fence () = Engine.fence ()
 let pause () = Engine.pause ()
+let now () = Engine.now ()
+
+let await_until ?(rmw = false) r ~deadline pred =
+  let rec go () =
+    if Engine.await_line_until r.l ~rmw ~deadline (fun () -> pred r.v)
+    then begin
+      let v = r.v in
+      if pred v then Some v else go ()
+    end
+    else
+      (* Timed out. A final re-check mirrors [await]'s re-check on
+         resumption: if a write satisfied the predicate at the very
+         deadline, report success rather than a spurious timeout. *)
+      let v = r.v in
+      if pred v then Some v else None
+  in
+  go ()

@@ -214,6 +214,42 @@ let parse_number c =
   done;
   let s = String.sub c.src start (c.pos - start) in
   if s = "" then fail c "expected number";
+  (* enforce the JSON number grammar before handing the token to the
+     (far more permissive) OCaml converters: no leading '+', no leading
+     zeros, no bare '.5' or '1.', exponent with at least one digit *)
+  let n = String.length s in
+  let digits i =
+    let j = ref i in
+    while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+      incr j
+    done;
+    !j
+  in
+  let i = if s.[0] = '-' then 1 else 0 in
+  let i =
+    if i < n && s.[i] = '0' then i + 1
+    else
+      let j = digits i in
+      if j = i then -1 else j
+  in
+  let i =
+    if i < 0 then i
+    else if i < n && s.[i] = '.' then
+      let j = digits (i + 1) in
+      if j = i + 1 then -1 else j
+    else i
+  in
+  let i =
+    if i < 0 then i
+    else if i < n && (s.[i] = 'e' || s.[i] = 'E') then begin
+      let i = i + 1 in
+      let i = if i < n && (s.[i] = '+' || s.[i] = '-') then i + 1 else i in
+      let j = digits i in
+      if j = i then -1 else j
+    end
+    else i
+  in
+  if i <> n then fail c "malformed number";
   if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s then
     match float_of_string_opt s with
     | Some f -> Float f
@@ -227,7 +263,14 @@ let parse_number c =
         | Some f -> Float f
         | None -> fail c "malformed number")
 
-let rec parse_value c =
+(* Containers deeper than this are rejected rather than recursed into:
+   the parser is recursive, and adversarial input like ["[[[[..."] must
+   produce a typed parse error, not a stack overflow. Real reports are
+   ~6 levels deep. *)
+let max_depth = 512
+
+let rec parse_value ~depth c =
+  if depth > max_depth then fail c "nesting too deep";
   skip_ws c;
   match peek c with
   | None -> fail c "unexpected end of input"
@@ -244,7 +287,7 @@ let rec parse_value c =
       end
       else begin
         let rec items acc =
-          let v = parse_value c in
+          let v = parse_value ~depth:(depth + 1) c in
           skip_ws c;
           match peek c with
           | Some ',' ->
@@ -270,7 +313,7 @@ let rec parse_value c =
           let k = parse_string c in
           skip_ws c;
           expect c ':';
-          let v = parse_value c in
+          let v = parse_value ~depth:(depth + 1) c in
           (k, v)
         in
         let rec fields acc =
@@ -291,7 +334,7 @@ let rec parse_value c =
 
 let of_string s =
   let c = { src = s; pos = 0 } in
-  match parse_value c with
+  match parse_value ~depth:0 c with
   | v ->
       skip_ws c;
       if c.pos <> String.length s then

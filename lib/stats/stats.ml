@@ -11,10 +11,12 @@ type recorder = {
   mutable fastpath : int;
   mutable contended : int;
   mutable spins : int;
+  mutable timeouts : int;       (* whole-lock try_acquire deadlines hit *)
   local_pass : int array;       (* per level, 0 = outermost/system *)
   remote_pass : int array;
   keep_local_kept : int array;
   h_exhausted : int array;
+  aborts : int array;           (* per level: waits abandoned there *)
   latency : int array;          (* log2-bucketed acquire latency, ns *)
 }
 
@@ -24,10 +26,12 @@ let create () =
     fastpath = 0;
     contended = 0;
     spins = 0;
+    timeouts = 0;
     local_pass = Array.make max_levels 0;
     remote_pass = Array.make max_levels 0;
     keep_local_kept = Array.make max_levels 0;
     h_exhausted = Array.make max_levels 0;
+    aborts = Array.make max_levels 0;
     latency = Array.make nbuckets 0;
   }
 
@@ -36,10 +40,12 @@ let reset r =
   r.fastpath <- 0;
   r.contended <- 0;
   r.spins <- 0;
+  r.timeouts <- 0;
   Array.fill r.local_pass 0 max_levels 0;
   Array.fill r.remote_pass 0 max_levels 0;
   Array.fill r.keep_local_kept 0 max_levels 0;
   Array.fill r.h_exhausted 0 max_levels 0;
+  Array.fill r.aborts 0 max_levels 0;
   Array.fill r.latency 0 nbuckets 0
 
 (* bucket [i] holds latencies in [2^i, 2^(i+1)) ns; 0 ns lands in
@@ -65,10 +71,12 @@ let merge a b =
     fastpath = a.fastpath + b.fastpath;
     contended = a.contended + b.contended;
     spins = a.spins + b.spins;
+    timeouts = a.timeouts + b.timeouts;
     local_pass = arr2 a.local_pass b.local_pass;
     remote_pass = arr2 a.remote_pass b.remote_pass;
     keep_local_kept = arr2 a.keep_local_kept b.keep_local_kept;
     h_exhausted = arr2 a.h_exhausted b.h_exhausted;
+    aborts = arr2 a.aborts b.aborts;
     latency = arr2 a.latency b.latency;
   }
 
@@ -81,10 +89,12 @@ let equal a b =
   && a.fastpath = b.fastpath
   && a.contended = b.contended
   && a.spins = b.spins
+  && a.timeouts = b.timeouts
   && a.local_pass = b.local_pass
   && a.remote_pass = b.remote_pass
   && a.keep_local_kept = b.keep_local_kept
   && a.h_exhausted = b.h_exhausted
+  && a.aborts = b.aborts
   && a.latency = b.latency
 
 (* ---------- accessors ---------- *)
@@ -93,6 +103,7 @@ let acquisitions r = r.acquisitions
 let fastpath r = r.fastpath
 let contended r = r.contended
 let spins r = r.spins
+let timeouts r = r.timeouts
 
 let at arr level =
   if level < 0 || level >= max_levels then 0 else arr.(level)
@@ -101,6 +112,7 @@ let local_pass r ~level = at r.local_pass level
 let remote_pass r ~level = at r.remote_pass level
 let keep_local_kept r ~level = at r.keep_local_kept level
 let h_exhausted r ~level = at r.h_exhausted level
+let aborts r ~level = at r.aborts level
 let handovers r ~level = at r.local_pass level + at r.remote_pass level
 
 let local_ratio r ~level =
@@ -116,6 +128,7 @@ let levels_used r =
       || r.remote_pass.(i) <> 0
       || r.keep_local_kept.(i) <> 0
       || r.h_exhausted.(i) <> 0
+      || r.aborts.(i) <> 0
     then used := i + 1
   done;
   !used
@@ -147,6 +160,7 @@ let percentile r p =
 
 let is_empty r =
   r.acquisitions = 0 && r.fastpath = 0 && r.contended = 0 && r.spins = 0
+  && r.timeouts = 0
   && levels_used r = 0
   && latency_samples r = 0
 
@@ -159,7 +173,8 @@ let to_json r =
         r.local_pass.(i) <> 0
         || r.remote_pass.(i) <> 0
         || r.keep_local_kept.(i) <> 0
-        || r.h_exhausted.(i) <> 0)
+        || r.h_exhausted.(i) <> 0
+        || r.aborts.(i) <> 0)
       (List.init max_levels Fun.id)
     |> List.map (fun i ->
            Json.Obj
@@ -169,6 +184,7 @@ let to_json r =
                ("remote_pass", Json.Int r.remote_pass.(i));
                ("keep_local", Json.Int r.keep_local_kept.(i));
                ("h_exhausted", Json.Int r.h_exhausted.(i));
+               ("aborts", Json.Int r.aborts.(i));
              ])
   in
   let latency =
@@ -189,6 +205,7 @@ let to_json r =
       ("fastpath", Json.Int r.fastpath);
       ("contended", Json.Int r.contended);
       ("spins", Json.Int r.spins);
+      ("timeouts", Json.Int r.timeouts);
       ("levels", Json.Arr levels);
       ("latency_ns", Json.Arr latency);
     ]
@@ -200,15 +217,27 @@ let of_json j =
     | Some i -> Ok i
     | None -> Error (Printf.sprintf "stats: missing int field %S" name)
   in
+  (* fields added after schema v1 shipped parse leniently, so reports
+     written by older builds stay readable *)
+  let opt_int_field obj name ~default =
+    match Json.member name obj with
+    | None -> Ok default
+    | Some v -> (
+        match Json.to_int v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "stats: ill-typed field %S" name))
+  in
   let r = create () in
   let* acq = int_field j "acquisitions" in
   let* fp = int_field j "fastpath" in
   let* con = int_field j "contended" in
   let* sp = int_field j "spins" in
+  let* tmo = opt_int_field j "timeouts" ~default:0 in
   r.acquisitions <- acq;
   r.fastpath <- fp;
   r.contended <- con;
   r.spins <- sp;
+  r.timeouts <- tmo;
   let* levels =
     match Option.bind (Json.member "levels" j) Json.to_list with
     | Some l -> Ok l
@@ -226,10 +255,12 @@ let of_json j =
           let* rp = int_field entry "remote_pass" in
           let* kl = int_field entry "keep_local" in
           let* hx = int_field entry "h_exhausted" in
+          let* ab = opt_int_field entry "aborts" ~default:0 in
           r.local_pass.(lvl) <- lp;
           r.remote_pass.(lvl) <- rp;
           r.keep_local_kept.(lvl) <- kl;
           r.h_exhausted.(lvl) <- hx;
+          r.aborts.(lvl) <- ab;
           Ok ()
         end)
       (Ok ()) levels
@@ -294,6 +325,16 @@ module Sink = struct
         let level = clamp level in
         if local then r.local_pass.(level) <- r.local_pass.(level) + 1
         else r.remote_pass.(level) <- r.remote_pass.(level) + 1
+
+  let timeout (t : t) =
+    match t with None -> () | Some r -> r.timeouts <- r.timeouts + 1
+
+  let abort (t : t) ~level =
+    match t with
+    | None -> ()
+    | Some r ->
+        let level = clamp level in
+        r.aborts.(level) <- r.aborts.(level) + 1
 
   let keep_local (t : t) ~level ~kept =
     match t with

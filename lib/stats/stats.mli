@@ -52,6 +52,10 @@ val contended : recorder -> int
 val spins : recorder -> int
 (** Iterations of explicit retry loops (fast-path word CAS storms). *)
 
+val timeouts : recorder -> int
+(** Whole-lock [try_acquire] attempts that hit their deadline (recorded
+    by the harness when a timed acquisition returns [false]). *)
+
 val local_pass : recorder -> level:int -> int
 (** Handovers at [level] that stayed inside the cohort. *)
 
@@ -71,6 +75,10 @@ val keep_local_kept : recorder -> level:int -> int
 val h_exhausted : recorder -> level:int -> int
 (** keep_local denials: a local waiter existed but the H threshold
     forced the lock outward (starvation-avoidance firing). *)
+
+val aborts : recorder -> level:int -> int
+(** Waits abandoned at [level]: a timed acquisition gave up while
+    queued at that level of the tree (level 0 = the root lock). *)
 
 val levels_used : recorder -> int
 (** 1 + highest level index with any per-level activity; 0 if none. *)
@@ -120,4 +128,10 @@ module Sink : sig
   val spin : t -> int -> unit
   val handover : t -> level:int -> local:bool -> unit
   val keep_local : t -> level:int -> kept:bool -> unit
+
+  val timeout : t -> unit
+  (** One whole-lock timed acquisition that returned [false]. *)
+
+  val abort : t -> level:int -> unit
+  (** One wait abandoned at [level] of a composed lock. *)
 end

@@ -39,6 +39,18 @@ module Instrument (B : Clof_locks.Lock_intf.S) :
   let acquire t c = guard c "acquire" (fun () -> B.acquire t c.inner)
   let release t c = guard c "release" (fun () -> B.release t c.inner)
 
+  let abortable = B.abortable
+
+  let try_acquire t c ~deadline =
+    if c.busy then
+      raise
+        (Vstate.Prop_violation
+           "context invariant: concurrent try_acquire on one context");
+    c.busy <- true;
+    let ok = B.try_acquire t c.inner ~deadline in
+    c.busy <- false;
+    ok
+
   let has_waiters =
     Option.map (fun f t c -> f t c.inner) B.has_waiters
 end
@@ -153,6 +165,92 @@ let induction_step ?(depth = 2) ?(threads = 3) ~mode () =
     scenario = clof_scenario packed ~depth ~threads ~iters:2;
   }
 
+(* Abort safety: one thread acquires with a deadline while the others
+   block. The checker resolves every timed wait nondeterministically
+   (Vmem.await_until), so the interleavings explored include a timeout
+   landing between enqueue and handover — the grant/abandon race. The
+   cs monitor catches any mutual-exclusion breach on the abort path;
+   the checker's deadlock detector catches a lost wakeup (a grant
+   handed to a departed waiter and never recovered). *)
+let abort_scenario (type a) (packed : a Clof_locks.Lock_intf.packed)
+    ~threads ~iters () =
+  let (module B) = packed in
+  let lock = B.create () in
+  let data = Vmem.make ~name:"data" 0 in
+  List.init threads (fun i ->
+      let ctx = B.ctx_create lock in
+      fun () ->
+        for _ = 1 to iters do
+          if i = 0 then begin
+            if B.try_acquire lock ctx ~deadline:0 then begin
+              payload data ();
+              B.release lock ctx
+            end
+          end
+          else begin
+            B.acquire lock ctx;
+            payload data ();
+            B.release lock ctx
+          end
+        done)
+
+let abort_step ?(threads = 3) ?(iters = 2) ~mode lock_name =
+  match R.find ~ctr:false lock_name with
+  | None -> None
+  | Some packed ->
+      Some
+        {
+          sname =
+            Printf.sprintf "abort/%s %dT x%d [%s]" lock_name threads iters
+              (mode_tag mode);
+          config = config_of mode;
+          expect_violation = false;
+          scenario = abort_scenario packed ~threads ~iters;
+        }
+
+(* Abort induction step: a 2-level composition of truly-abortable MCS
+   locks, root instrumented, with a timed outer acquisition. Exercises
+   Compose.try_acquire end to end — waiter-counter balance, the
+   no-pass-flag-on-failure path, and the post-abort rescue — under the
+   same context-invariant monitor as the blocking induction step. *)
+module Mcs_v = Clof_locks.Mcs.Make (Vmem)
+module Mcs_monitored = Instrument (Mcs_v)
+module Abort_root = Clof_core.Compose.Base (Mcs_monitored)
+module Abort_clof2 = Clof_core.Compose.Compose (Vmem) (Mcs_v) (Abort_root)
+
+let abort_induction ?(threads = 3) ~mode () =
+  let scenario () =
+    let topo = mini_topo 2 in
+    let lock =
+      Abort_clof2.create ~h:2 ~topo ~hierarchy:(mini_hierarchy 2) ()
+    in
+    let data = Vmem.make ~name:"data" 0 in
+    List.init threads (fun cpu ->
+        let ctx = Abort_clof2.ctx_create lock ~cpu in
+        fun () ->
+          for _ = 1 to 2 do
+            if cpu = 0 then begin
+              if Abort_clof2.try_acquire lock ctx ~deadline:0 then begin
+                payload data ();
+                Abort_clof2.release lock ctx
+              end
+            end
+            else begin
+              Abort_clof2.acquire lock ctx;
+              payload data ();
+              Abort_clof2.release lock ctx
+            end
+          done)
+  in
+  {
+    sname =
+      Printf.sprintf "abort-induction/clof<2> mcs %dT [%s]" threads
+        (mode_tag mode);
+    config = config_of mode;
+    expect_violation = false;
+    scenario;
+  }
+
 let peterson ~fenced ~mode =
   let scenario () =
     let module P =
@@ -197,10 +295,17 @@ let all () =
   let base mode =
     List.filter_map (fun l -> base_step ~mode l) locks
   in
-  base Vstate.Sc @ base Vstate.Tso
+  let aborts mode =
+    List.filter_map
+      (fun l -> abort_step ~mode l)
+      [ "mcs"; "clh"; "tkt" ]
+  in
+  base Vstate.Sc @ base Vstate.Tso @ aborts Vstate.Sc @ aborts Vstate.Tso
   @ [
       induction_step ~depth:2 ~mode:Vstate.Sc ();
       induction_step ~depth:2 ~mode:Vstate.Tso ();
+      abort_induction ~mode:Vstate.Sc ();
+      abort_induction ~mode:Vstate.Tso ();
       peterson ~fenced:true ~mode:Vstate.Sc;
       peterson ~fenced:true ~mode:Vstate.Tso;
       peterson ~fenced:false ~mode:Vstate.Sc;

@@ -32,6 +32,20 @@ val induction_step : ?depth:int -> ?threads:int -> mode:Vstate.mode -> unit -> n
     (default 2) on a miniature 2-node topology, context invariant
     checked. [threads] defaults to 3. *)
 
+val abort_step :
+  ?threads:int -> ?iters:int -> mode:Vstate.mode -> string -> named option
+(** Abort safety of one basic lock: one thread acquires with a
+    deadline the checker may expire at any point — including between
+    enqueue and handover — while the others block. Checks mutual
+    exclusion on the abort path and that no grant is lost (a lost
+    wakeup surfaces as the checker's deadlock verdict). *)
+
+val abort_induction : ?threads:int -> mode:Vstate.mode -> unit -> named
+(** Abort safety of the composition: a 2-level all-MCS CLoF lock with
+    a timed outer acquisition, instrumented root — the model-checked
+    counterpart of the abortability induction step documented in
+    {!Clof_core.Compose}. *)
+
 val peterson : fenced:bool -> mode:Vstate.mode -> named
 
 val all : unit -> named list

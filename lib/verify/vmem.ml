@@ -113,3 +113,20 @@ let fence () =
   drain_own_buffer ()
 
 let pause () = Effect.perform Vstate.Pause_op
+
+(* Virtual time under the checker is the thread's own step count: it is
+   monotone and advances at every scheduling point, so bounded polling
+   loops (ticket/TAS [try_acquire]) terminate on every schedule. *)
+let now () = (my_thread ()).Vstate.steps
+
+(* A timed wait is modelled as an always-enabled scheduling point: the
+   scheduler may resume the thread at any moment, and the resumption
+   observes either a state satisfying [pred] (the wake won) or not (the
+   timeout fired first). Exhaustive exploration therefore covers every
+   interleaving of "waiter times out" against "holder hands over",
+   including the race in the same step window — the [deadline] value
+   itself is irrelevant to which schedules exist. *)
+let await_until ?rmw:_ r ~deadline:_ pred =
+  Effect.perform (Vstate.Await_op ("tryawait " ^ r.name, fun () -> true));
+  let v = visible r in
+  if pred v then Some v else None

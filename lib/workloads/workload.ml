@@ -35,18 +35,20 @@ type result = {
   nthreads : int;
   total_ops : int;
   per_thread : int array;
+  last_progress : int array;
   sim_ns : int;
   throughput : float;
   hung : bool;
   aborted : bool;
+  crashed : int list;
   transfers : (Clof_topology.Level.proximity * int) list;
   stats : Clof_stats.Stats.recorder;
 }
 
 exception Lock_failure of string
 
-let run_on_cpus ?(check = true) ~platform ~cpus ~spec
-    (p : params) =
+let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
+    ~cpus ~spec (p : params) =
   let topo = platform.Platform.topo in
   let lock = spec.Clof_core.Runtime.instantiate topo in
   let nthreads = Array.length cpus in
@@ -57,6 +59,7 @@ let run_on_cpus ?(check = true) ~platform ~cpus ~spec
      cache, and those misses are independent of lock handover locality *)
   let read_work = p.cs_reads * dram_read in
   let counts = Array.make nthreads 0 in
+  let last_progress = Array.make nthreads 0 in
   (* one recorder per thread: recording stays single-writer, the
      recorders are merged after the run *)
   let recorders =
@@ -84,25 +87,39 @@ let run_on_cpus ?(check = true) ~platform ~cpus ~spec
     think ();
     while E.running () do
       let t0 = E.now () in
-      h.Clof_core.Runtime.acquire ();
-      Clof_stats.Stats.Sink.acquired sink ~ns:(E.now () - t0);
-      incr in_cs;
-      if !in_cs <> 1 then violated := true;
-      if read_work > 0 then E.work read_work;
-      for j = 0 to p.cs_writes - 1 do
-        M.store hot.(j) tid
-      done;
-      if p.cs_work > 0 then E.work p.cs_work;
-      decr in_cs;
-      h.Clof_core.Runtime.release ();
-      think ();
-      counts.(tid) <- counts.(tid) + 1
+      let owned =
+        match deadline with
+        | None ->
+            h.Clof_core.Runtime.acquire ();
+            true
+        | Some d -> h.Clof_core.Runtime.try_acquire ~deadline:(t0 + d)
+      in
+      if not owned then begin
+        (* deadline hit: record, back off, try again next iteration *)
+        Clof_stats.Stats.Sink.timeout sink;
+        think ()
+      end
+      else begin
+        Clof_stats.Stats.Sink.acquired sink ~ns:(E.now () - t0);
+        incr in_cs;
+        if !in_cs <> 1 then violated := true;
+        if read_work > 0 then E.work read_work;
+        for j = 0 to p.cs_writes - 1 do
+          M.store hot.(j) tid
+        done;
+        if p.cs_work > 0 then E.work p.cs_work;
+        decr in_cs;
+        h.Clof_core.Runtime.release ();
+        counts.(tid) <- counts.(tid) + 1;
+        last_progress.(tid) <- E.now ();
+        think ()
+      end
     done
   in
   let threads =
     Array.to_list (Array.map (fun cpu -> (cpu, body cpu)) cpus)
   in
-  let o = E.run ~duration:p.duration ~platform ~threads () in
+  let o = E.run ~duration:p.duration ~faults ~platform ~threads () in
   if check then begin
     if !violated then
       raise
@@ -123,14 +140,16 @@ let run_on_cpus ?(check = true) ~platform ~cpus ~spec
     nthreads;
     total_ops;
     per_thread = counts;
+    last_progress;
     sim_ns;
     throughput = 1000.0 *. float_of_int total_ops /. float_of_int sim_ns;
     hung = o.hung;
     aborted = o.aborted;
+    crashed = o.E.crashed;
     transfers = o.E.transfers;
     stats = Clof_stats.Stats.merge_all (Array.to_list recorders);
   }
 
-let run ?check ~platform ~nthreads ~spec p =
+let run ?check ?faults ?deadline ~platform ~nthreads ~spec p =
   let cpus = Topology.pick_cpus platform.Platform.topo ~nthreads in
-  run_on_cpus ?check ~platform ~cpus ~spec p
+  run_on_cpus ?check ?faults ?deadline ~platform ~cpus ~spec p

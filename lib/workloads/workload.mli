@@ -34,10 +34,17 @@ type result = {
   nthreads : int;
   total_ops : int;
   per_thread : int array;
+  last_progress : int array;
+      (** simulated time of each thread's last completed operation —
+          the fault harness uses this to tell a thread that recovered
+          late from one that stopped progressing *)
   sim_ns : int;
   throughput : float;  (** operations per simulated microsecond *)
   hung : bool;
   aborted : bool;
+  crashed : int list;
+      (** threads killed by an injected {!Clof_sim.Engine.Crash}
+          fault (empty without fault injection) *)
   transfers : (Clof_topology.Level.proximity * int) list;
       (** cache-line transfers by distance class during the run — the
           direct measurement of handover locality *)
@@ -54,6 +61,8 @@ exception Lock_failure of string
 
 val run :
   ?check:bool ->
+  ?faults:Clof_sim.Engine.fault list ->
+  ?deadline:int ->
   platform:Clof_topology.Platform.t ->
   nthreads:int ->
   spec:Clof_core.Runtime.spec ->
@@ -63,10 +72,20 @@ val run :
     {!Clof_topology.Topology.pick_cpus}. [check] (default true) raises
     {!Lock_failure} on hang/livelock and on a mutual-exclusion violation
     observed on a race-detector line incremented inside every critical
-    section. *)
+    section — pass [~check:false] when injecting faults that are
+    expected to degrade the run.
+
+    [faults] is forwarded to {!Clof_sim.Engine.run} (default none).
+    [deadline] switches every acquisition to the timed path: each
+    attempt calls [try_acquire] with a per-attempt budget of [deadline]
+    simulated ns; a timed-out attempt records a timeout in the
+    thread's stats, thinks, and retries. Omitted, acquisitions
+    block. *)
 
 val run_on_cpus :
   ?check:bool ->
+  ?faults:Clof_sim.Engine.fault list ->
+  ?deadline:int ->
   platform:Clof_topology.Platform.t ->
   cpus:int array ->
   spec:Clof_core.Runtime.spec ->

@@ -133,6 +133,95 @@ let test_experiment_dispatch () =
   check_bool "produced output" true (Buffer.length buf > 100);
   check_bool "unknown id" false (Clof_harness.Experiments.run ppf "nope")
 
+(* ---------- fault-injection watchdog ---------- *)
+
+module Ex = Clof_harness.Experiments
+
+(* One sweep for the whole section: set_quick before the memoized
+   matrix is first forced. *)
+let fault_rows =
+  lazy
+    (Ex.set_quick true;
+     Ex.fault_matrix ())
+
+let cell row fault =
+  List.find (fun c -> c.Ex.fc_fault = fault) row.Ex.fr_cells
+
+let test_faults_text_table () =
+  let s =
+    Render.text_table ~header:[ "lock"; "a"; "b" ]
+      ~rows:[ ("mcs", [ "ok"; "wedged!" ]); ("x", [ "-"; "-" ]) ]
+  in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  check_int "3 lines" 3 (List.length lines);
+  check_bool "contains cell" true
+    (let re = "wedged!" in
+     let rec find i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+(* ISSUE acceptance: with no injected fault every cell is Recovered. *)
+let test_faults_baseline_recovers () =
+  List.iter
+    (fun row ->
+      let c = cell row "none" in
+      Alcotest.(check string)
+        (row.Ex.fr_lock ^ "/none recovers")
+        "recovered"
+        (Ex.class_to_string c.Ex.fc_class);
+      check_bool (row.Ex.fr_lock ^ "/none not hung") false c.Ex.fc_hung)
+    (Lazy.force fault_rows)
+
+(* ISSUE acceptance: a stall injected into a queue waiter leaves every
+   abortable composition recovered — timed-out waiters re-arm and the
+   run completes with [hung = false]. *)
+let test_faults_stall_abortable_recovers () =
+  let rows = Lazy.force fault_rows in
+  let abortables = List.filter (fun r -> r.Ex.fr_abortable) rows in
+  check_bool "panel has abortable compositions" true
+    (List.exists
+       (fun r -> String.length r.Ex.fr_lock > 3)
+       abortables);
+  List.iter
+    (fun row ->
+      List.iter
+        (fun c ->
+          if
+            String.length c.Ex.fc_fault >= 5
+            && String.sub c.Ex.fc_fault 0 5 = "stall"
+          then begin
+            check_bool
+              (row.Ex.fr_lock ^ "/" ^ c.Ex.fc_fault ^ " not wedged")
+              true
+              (c.Ex.fc_class <> Ex.Wedged);
+            check_bool
+              (row.Ex.fr_lock ^ "/" ^ c.Ex.fc_fault ^ " not hung")
+              false c.Ex.fc_hung
+          end)
+        row.Ex.fr_cells)
+    abortables
+
+let test_faults_gate_passes () =
+  check_int "no fair lock wedged by a stall" 0
+    (List.length (Ex.fault_gate (Lazy.force fault_rows)))
+
+let test_faults_experiment_renders () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  ignore (Lazy.force fault_rows);
+  check_bool "faults runs" true (Ex.run ppf "faults");
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  check_bool "mentions classification" true
+    (let re = "recovered" in
+     let rec find i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
 let () =
   Alcotest.run "harness"
     [
@@ -159,5 +248,16 @@ let () =
         [
           Alcotest.test_case "ids" `Quick test_experiment_ids;
           Alcotest.test_case "dispatch" `Quick test_experiment_dispatch;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "text table" `Quick test_faults_text_table;
+          Alcotest.test_case "baseline recovers" `Slow
+            test_faults_baseline_recovers;
+          Alcotest.test_case "stall vs abortable" `Slow
+            test_faults_stall_abortable_recovers;
+          Alcotest.test_case "gate passes" `Slow test_faults_gate_passes;
+          Alcotest.test_case "experiment renders" `Slow
+            test_faults_experiment_renders;
         ] );
     ]

@@ -150,6 +150,196 @@ let test_has_waiters (type a) (packed : a Lock_intf.packed) =
 let test_has_waiters_all () =
   List.iter test_has_waiters [ R.ticket; R.mcs; R.clh; R.hemlock ~ctr:false () ]
 
+(* ---------- timed acquisition ---------- *)
+
+let test_capabilities () =
+  Alcotest.(check (list (pair string bool)))
+    "capability table"
+    [
+      ("tkt", false);
+      ("mcs", true);
+      ("clh", true);
+      ("hem", false);
+      ("tas", false);
+      ("ttas", false);
+      ("bo", false);
+    ]
+    (R.capabilities ~ctr:false);
+  Alcotest.(check (list string))
+    "abortables" [ "mcs"; "clh" ]
+    (List.map Lock_intf.name (R.abortables ~ctr:false))
+
+let test_try_uncontended () =
+  List.iter
+    (fun packed ->
+      let (module B : Lock_intf.S with type anchor = M.anchor) = packed in
+      let lock = B.create () in
+      let got = ref false in
+      let o =
+        E.run ~duration:max_int ~platform:Platform.tiny
+          ~threads:
+            [
+              ( 0,
+                fun _ ->
+                  let ctx = B.ctx_create lock in
+                  got :=
+                    B.try_acquire lock ctx ~deadline:(E.now () + 100_000);
+                  if !got then B.release lock ctx );
+            ]
+          ()
+      in
+      check_bool (B.name ^ ": no hang") true (not o.E.hung);
+      check_bool (B.name ^ ": free lock granted") true !got)
+    (all_locks ())
+
+(* The core abandonment scenario: a waiter times out against a held
+   lock, then immediately reuses the same context for a blocking
+   acquisition — for MCS/CLH the abandoned node is still queued, so
+   the holder's release must skip it and the fresh enqueue must chain
+   behind it. *)
+let test_try_timeout_then_reuse () =
+  List.iter
+    (fun packed ->
+      let (module B : Lock_intf.S with type anchor = M.anchor) = packed in
+      let lock = B.create () in
+      let timed_out = ref None and reacquired = ref false in
+      let gate = M.make ~name:"gate" false in
+      let threads =
+        [
+          ( 0,
+            fun _ ->
+              let ctx = B.ctx_create lock in
+              B.acquire lock ctx;
+              M.store gate true;
+              (* hold far past the waiter's deadline *)
+              E.work 30_000;
+              B.release lock ctx );
+          ( 1,
+            fun _ ->
+              let ctx = B.ctx_create lock in
+              ignore (M.await gate (fun b -> b));
+              timed_out :=
+                Some
+                  (not
+                     (B.try_acquire lock ctx
+                        ~deadline:(E.now () + 5_000)));
+              B.acquire lock ctx;
+              reacquired := true;
+              B.release lock ctx );
+        ]
+      in
+      let o = E.run ~duration:max_int ~platform:Platform.tiny ~threads () in
+      check_bool (B.name ^ ": no hang") true (not o.E.hung);
+      Alcotest.(check (option bool))
+        (B.name ^ ": waiter timed out")
+        (Some true) !timed_out;
+      check_bool
+        (B.name ^ ": context reusable after abandon")
+        true !reacquired)
+    (all_locks ())
+
+(* An abandoned waiter must not strand the waiters behind it: t1
+   abandons mid-queue while t2 blocks behind it; t2 must still get the
+   lock from t0's release. *)
+let test_abandon_mid_queue () =
+  List.iter
+    (fun packed ->
+      let (module B : Lock_intf.S with type anchor = M.anchor) = packed in
+      let lock = B.create () in
+      let got_lock = ref false and timed_out = ref None in
+      let gate = M.make ~name:"gate" 0 in
+      let threads =
+        [
+          ( 0,
+            fun _ ->
+              let ctx = B.ctx_create lock in
+              B.acquire lock ctx;
+              M.store gate 1;
+              (* wait until both the doomed waiter and the blocking
+                 waiter are queued (or polling) before holding on *)
+              ignore (M.await gate (fun g -> g = 2));
+              E.work 30_000;
+              B.release lock ctx );
+          ( 1,
+            fun _ ->
+              let ctx = B.ctx_create lock in
+              ignore (M.await gate (fun g -> g >= 1));
+              timed_out :=
+                Some
+                  (not
+                     (B.try_acquire lock ctx
+                        ~deadline:(E.now () + 5_000))) );
+          ( 2,
+            fun _ ->
+              let ctx = B.ctx_create lock in
+              ignore (M.await gate (fun g -> g >= 1));
+              E.work 2_000;
+              (* enqueue behind the doomed waiter *)
+              M.store gate 2;
+              B.acquire lock ctx;
+              got_lock := true;
+              B.release lock ctx );
+        ]
+      in
+      let o = E.run ~duration:max_int ~platform:Platform.tiny ~threads () in
+      check_bool (B.name ^ ": no hang") true (not o.E.hung);
+      Alcotest.(check (option bool))
+        (B.name ^ ": mid-queue waiter timed out")
+        (Some true) !timed_out;
+      check_bool (B.name ^ ": waiter behind abandoner served") true
+        !got_lock)
+    [ R.mcs; R.clh ]
+
+(* Mutual exclusion holds when every acquisition is timed and retried.
+   The deadline must sit well above the churn-inflated handover latency
+   and retries must back off, or the MCS abandon path degenerates into a
+   timeout storm (see the note in mcs.ml); the bounded duration turns
+   any such regression into a failed count instead of a hung test. *)
+let exercise_timed (type a) (packed : a Lock_intf.packed) ~nthreads ~iters =
+  let (module B) = packed in
+  let lock = B.create () in
+  let counter = ref 0 in
+  let overlaps = ref 0 in
+  let in_cs = ref 0 in
+  let body _cpu =
+    let ctx = B.ctx_create lock in
+    fun _tid ->
+      for _ = 1 to iters do
+        let rec go () =
+          if B.try_acquire lock ctx ~deadline:(E.now () + 20_000) then begin
+            incr in_cs;
+            if !in_cs <> 1 then incr overlaps;
+            E.work 20;
+            counter := !counter + 1;
+            decr in_cs;
+            B.release lock ctx
+          end
+          else begin
+            E.work 1_000;
+            go ()
+          end
+        in
+        go ()
+      done
+  in
+  let p = Platform.tiny in
+  let cpus = Topology.pick_cpus p.Platform.topo ~nthreads in
+  let threads =
+    Array.to_list (Array.map (fun cpu -> (cpu, body cpu)) cpus)
+  in
+  let o = E.run ~duration:4_000_000 ~platform:p ~threads () in
+  (!counter, !overlaps, o)
+
+let test_timed_mutex_all_locks () =
+  List.iter
+    (fun packed ->
+      let name = Lock_intf.name packed in
+      let count, overlaps, o = exercise_timed packed ~nthreads:8 ~iters:100 in
+      check_int (name ^ ": all increments") 800 count;
+      check_int (name ^ ": no overlap") 0 overlaps;
+      check_bool (name ^ ": no hang") true (not o.E.hung))
+    (all_locks ())
+
 (* ---------- peterson ---------- *)
 
 let test_peterson_slots () =
@@ -237,6 +427,17 @@ let () =
         ] );
       ( "has_waiters",
         [ Alcotest.test_case "all locks" `Quick test_has_waiters_all ] );
+      ( "timed",
+        [
+          Alcotest.test_case "capabilities" `Quick test_capabilities;
+          Alcotest.test_case "uncontended try" `Quick test_try_uncontended;
+          Alcotest.test_case "timeout then context reuse" `Quick
+            test_try_timeout_then_reuse;
+          Alcotest.test_case "abandon mid-queue" `Quick
+            test_abandon_mid_queue;
+          Alcotest.test_case "timed mutex, 8 threads" `Quick
+            test_timed_mutex_all_locks;
+        ] );
       ( "peterson",
         [
           Alcotest.test_case "slots" `Quick test_peterson_slots;

@@ -211,6 +211,146 @@ let test_engine_bad_cpu () =
       ignore
         (E.run ~platform:Platform.tiny ~threads:[ (99, fun _ -> ()) ] ()))
 
+(* ---------- timed waits and fault injection ---------- *)
+
+let test_await_until_timeout () =
+  let p = Platform.tiny in
+  let res = ref (Some false) and at = ref 0 in
+  let r = M.make ~name:"never" false in
+  let o =
+    run_counting ~duration:max_int p
+      [
+        ( 0,
+          fun _ ->
+            res := M.await_until r ~deadline:5000 (fun b -> b);
+            at := E.now () );
+      ]
+  in
+  check_bool "not hung" true (not o.E.hung);
+  check_bool "timed out" true (!res = None);
+  check_bool "resumed at the deadline" true (!at >= 5000)
+
+let test_await_until_wakeup () =
+  let p = Platform.tiny in
+  let res = ref None in
+  let r = M.make ~name:"flag" false in
+  let o =
+    run_counting ~duration:max_int p
+      [
+        ( 0,
+          fun _ -> res := M.await_until r ~deadline:1_000_000 (fun b -> b)
+        );
+        ( 8,
+          fun _ ->
+            E.work 5000;
+            M.store r true );
+      ]
+  in
+  check_bool "not hung" true (not o.E.hung);
+  check_bool "woke with the value" true (!res = Some true)
+
+let test_await_until_past_deadline () =
+  (* a deadline already behind the clock degrades to a single check *)
+  let p = Platform.tiny in
+  let res = ref None in
+  let r = M.make ~name:"set" true in
+  let o =
+    run_counting ~duration:max_int p
+      [ (0, fun _ -> res := M.await_until r ~deadline:0 (fun b -> b)) ]
+  in
+  check_bool "not hung" true (not o.E.hung);
+  check_bool "pred already true wins" true (!res = Some true)
+
+let test_fault_stall () =
+  let p = Platform.tiny in
+  let r = M.make ~name:"x" 0 in
+  let t_after = ref 0 in
+  let o =
+    E.run ~duration:max_int ~platform:p
+      ~faults:[ E.Stall { tid = 0; at_op = 1; ns = 10_000 } ]
+      ~threads:
+        [
+          ( 0,
+            fun _ ->
+              M.store r 1;
+              t_after := E.now () );
+        ]
+      ()
+  in
+  check_bool "not hung" true (not o.E.hung);
+  check_int "one injection" 1 (List.length o.E.injected);
+  (match o.E.injected with
+  | [ i ] ->
+      check_int "victim tid" 0 i.E.i_tid;
+      check_int "at op" 1 i.E.i_op;
+      Alcotest.(check string) "kind" "stall" i.E.i_kind
+  | _ -> ());
+  Alcotest.(check (list int)) "nobody crashed" [] o.E.crashed;
+  check_bool "stall delayed the victim" true (!t_after >= 10_000)
+
+let test_fault_stall_wrong_thread () =
+  (* a fault aimed at an op count the victim never reaches is inert *)
+  let p = Platform.tiny in
+  let r = M.make ~name:"x" 0 in
+  let o =
+    E.run ~duration:max_int ~platform:p
+      ~faults:[ E.Stall { tid = 0; at_op = 99; ns = 10_000 } ]
+      ~threads:[ (0, fun _ -> M.store r 1) ]
+      ()
+  in
+  check_int "nothing injected" 0 (List.length o.E.injected)
+
+let test_fault_crash () =
+  let p = Platform.tiny in
+  let r = M.make ~name:"x" 0 in
+  let second = ref false in
+  let o =
+    E.run ~duration:max_int ~platform:p
+      ~faults:[ E.Crash { tid = 0; at_op = 2 } ]
+      ~threads:
+        [
+          ( 0,
+            fun _ ->
+              M.store r 1;
+              M.store r 2;
+              second := true );
+          (8, fun _ -> ignore (M.await r (fun v -> v >= 1)));
+        ]
+      ()
+  in
+  check_bool "survivors not hung" true (not o.E.hung);
+  Alcotest.(check (list int)) "crashed list" [ 0 ] o.E.crashed;
+  check_bool "continuation dropped at the faulted op" true (not !second);
+  (* the faulted op itself completes: a crash kills between atomic
+     ops, it does not tear one *)
+  check_int "faulted store still visible" 2 (M.peek r)
+
+let test_fault_crash_while_waiting () =
+  (* the victim dies queued on a line; the other thread's wakeup must
+     not resurrect it, and the run must complete *)
+  let p = Platform.tiny in
+  let r = M.make ~name:"gate" false in
+  let resurrected = ref false in
+  let o =
+    E.run ~duration:max_int ~platform:p
+      ~faults:[ E.Crash { tid = 0; at_op = 1 } ]
+      ~threads:
+        [
+          ( 0,
+            fun _ ->
+              ignore (M.await r (fun b -> b));
+              resurrected := true );
+          ( 8,
+            fun _ ->
+              E.work 2000;
+              M.store r true );
+        ]
+      ()
+  in
+  check_bool "not hung" true (not o.E.hung);
+  Alcotest.(check (list int)) "crashed list" [ 0 ] o.E.crashed;
+  check_bool "victim stayed dead" true (not !resurrected)
+
 (* ---------- sim_mem semantics ---------- *)
 
 let in_sim f =
@@ -357,6 +497,21 @@ let () =
             test_engine_running_duration;
           Alcotest.test_case "tid/cpu" `Quick test_engine_tid_cpu;
           Alcotest.test_case "bad cpu" `Quick test_engine_bad_cpu;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "await_until timeout" `Quick
+            test_await_until_timeout;
+          Alcotest.test_case "await_until wakeup" `Quick
+            test_await_until_wakeup;
+          Alcotest.test_case "await_until past deadline" `Quick
+            test_await_until_past_deadline;
+          Alcotest.test_case "stall" `Quick test_fault_stall;
+          Alcotest.test_case "inert fault" `Quick
+            test_fault_stall_wrong_thread;
+          Alcotest.test_case "crash" `Quick test_fault_crash;
+          Alcotest.test_case "crash while waiting" `Quick
+            test_fault_crash_while_waiting;
         ] );
       ( "memory",
         [

@@ -22,6 +22,8 @@ type event =
   | Spin of int
   | Handover of int * bool
   | Keep_local of int * bool
+  | Timeout
+  | Abort of int
 
 let apply sink = function
   | Acquired ns -> S.Sink.acquired sink ~ns
@@ -30,6 +32,8 @@ let apply sink = function
   | Spin n -> S.Sink.spin sink n
   | Handover (level, local) -> S.Sink.handover sink ~level ~local
   | Keep_local (level, kept) -> S.Sink.keep_local sink ~level ~kept
+  | Timeout -> S.Sink.timeout sink
+  | Abort level -> S.Sink.abort sink ~level
 
 let record events =
   let r = S.create () in
@@ -53,6 +57,8 @@ let event_gen =
           (fun l b -> Keep_local (l, b))
           (int_bound (S.max_levels + 2))
           bool;
+        return Timeout;
+        map (fun l -> Abort l) (int_bound (S.max_levels + 2));
       ])
 
 let events_arb = QCheck.make QCheck.Gen.(list_size (int_bound 60) event_gen)
@@ -74,8 +80,12 @@ let test_merge_identity =
       S.equal (S.merge r (S.create ())) r)
 
 let test_merge_counts () =
-  let a = record [ Acquired 5; Fast; Handover (1, true) ] in
-  let b = record [ Acquired 7; Contended; Handover (1, false); Spin 3 ] in
+  let a = record [ Acquired 5; Fast; Handover (1, true); Timeout ] in
+  let b =
+    record
+      [ Acquired 7; Contended; Handover (1, false); Spin 3; Timeout;
+        Abort 1; Abort 0 ]
+  in
   let m = S.merge a b in
   check_int "acquisitions" 2 (S.acquisitions m);
   check_int "fastpath" 1 (S.fastpath m);
@@ -84,6 +94,9 @@ let test_merge_counts () =
   check_int "local level 1" 1 (S.local_pass m ~level:1);
   check_int "remote level 1" 1 (S.remote_pass m ~level:1);
   check_int "handovers" 2 (S.handovers m ~level:1);
+  check_int "timeouts" 2 (S.timeouts m);
+  check_int "aborts level 0" 1 (S.aborts m ~level:0);
+  check_int "aborts level 1" 1 (S.aborts m ~level:1);
   check_bool "merge left originals alone" true
     (S.acquisitions a = 1 && S.acquisitions b = 1)
 
@@ -169,6 +182,117 @@ let test_json_values () =
         (match J.of_string "{} x" with Error _ -> true | Ok _ -> false);
       check_bool "int survives float printer" true
         (J.to_string (J.Arr [ J.Int 42; J.Float 0.5 ]) = "[42,0.5]")
+
+(* ---------- parser robustness on malformed input ---------- *)
+
+(* Every outcome of [J.of_string] on arbitrary garbage must be a typed
+   result: a parse never raises and never diverges. *)
+let parses_totally s =
+  match J.of_string s with
+  | Ok _ -> true
+  | Error _ -> true
+  | exception _ -> false
+
+let test_json_fuzz_garbage =
+  QCheck.Test.make ~name:"of_string never raises on arbitrary bytes"
+    ~count:1000
+    QCheck.(string_gen_of_size Gen.(int_bound 80) Gen.char)
+    parses_totally
+
+(* Truncations of a valid document: every strict prefix must yield a
+   typed error, never an exception. *)
+let test_json_truncations () =
+  let doc =
+    J.to_string (S.to_json (record [ Acquired 3; Handover (1, true) ]))
+  in
+  for i = 0 to String.length doc - 1 do
+    let prefix = String.sub doc 0 i in
+    check_bool
+      (Printf.sprintf "prefix of length %d is a typed error" i)
+      true
+      (match J.of_string prefix with
+      | Error _ -> true
+      | Ok _ -> false
+      | exception _ -> false)
+  done
+
+let test_json_bad_escapes () =
+  List.iter
+    (fun doc ->
+      check_bool ("rejects " ^ String.escaped doc) true
+        (match J.of_string doc with
+        | Error _ -> true
+        | Ok _ -> false
+        | exception _ -> false))
+    [
+      {|"\x41"|};
+      {|"\u12"|};
+      {|"\u12zw"|};
+      {|"\|};
+      {|"tab\qtab"|};
+      {|{"a" 1}|};
+      {|{1: 2}|};
+      {|[1,]|};
+      {|[1 2]|};
+      {|01|};
+      {|+1|};
+      {|.5|};
+      {|1e|};
+      {|tru|};
+      {|nul|};
+      {|"unterminated|};
+    ]
+
+(* Deep nesting must fail with a typed error, not a stack overflow. *)
+let test_json_deep_nesting () =
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  check_bool "modest nesting parses" true
+    (match J.of_string (deep 50) with Ok _ -> true | Error _ -> false);
+  List.iter
+    (fun n ->
+      check_bool
+        (Printf.sprintf "depth %d is a typed error" n)
+        true
+        (match J.of_string (deep n) with
+        | Error _ -> true
+        | Ok _ -> false
+        | exception _ -> false))
+    [ 1_000; 100_000 ];
+  (* unclosed deep nesting: the truncation and the depth guard may both
+     apply; either way the outcome must be typed *)
+  check_bool "unclosed deep array is typed" true
+    (parses_totally (String.make 1_000_000 '['));
+  check_bool "deep objects are guarded too" true
+    (let b = Buffer.create 4096 in
+     for _ = 1 to 1_000 do
+       Buffer.add_string b {|{"a":|}
+     done;
+     Buffer.add_string b "1";
+     for _ = 1 to 1_000 do
+       Buffer.add_char b '}'
+     done;
+     match J.of_string (Buffer.contents b) with
+     | Error _ -> true
+     | Ok _ -> false
+     | exception _ -> false)
+
+(* Mutating one byte of a valid document never crashes the parser. *)
+let test_json_fuzz_mutations =
+  let base =
+    J.to_string
+      (S.to_json
+         (record
+            [ Acquired 17; Fast; Abort 1; Timeout; Keep_local (2, true) ]))
+  in
+  QCheck.Test.make ~name:"single-byte mutations parse totally" ~count:500
+    QCheck.(
+      pair
+        (make Gen.(int_bound (String.length base - 1)))
+        (make Gen.char))
+    (fun (i, c) ->
+      let b = Bytes.of_string base in
+      Bytes.set b i c;
+      parses_totally (Bytes.to_string b))
 
 (* ---------- end-to-end: a 2-level compose run ---------- *)
 
@@ -294,6 +418,14 @@ let () =
           Alcotest.test_case "canonical string stable" `Quick
             test_stats_json_string_stable;
           Alcotest.test_case "values and escapes" `Quick test_json_values;
+        ] );
+      ( "json-malformed",
+        [
+          qcheck test_json_fuzz_garbage;
+          qcheck test_json_fuzz_mutations;
+          Alcotest.test_case "truncations" `Quick test_json_truncations;
+          Alcotest.test_case "bad escapes" `Quick test_json_bad_escapes;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
         ] );
       ( "compose",
         [

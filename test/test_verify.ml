@@ -153,6 +153,30 @@ let test_base_steps_tso () =
           check_bool (lock ^ " tso clean") false (has_violation r))
     [ "tkt"; "mcs"; "clh"; "hem" ]
 
+(* Abort safety (ISSUE): a waiter may time out between enqueue and
+   handover; mutual exclusion must hold and no grant may be lost, under
+   SC and under TSO store buffers. *)
+let test_abort_steps () =
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun lock ->
+          match S.abort_step ~threads:2 ~iters:2 ~mode lock with
+          | None -> Alcotest.fail ("unknown lock " ^ lock)
+          | Some n ->
+              let r = S.run n in
+              check_bool (n.S.sname ^ " clean") false (has_violation r))
+        [ "mcs"; "clh"; "tkt" ])
+    [ Vstate.Sc; Vstate.Tso ]
+
+let test_abort_induction () =
+  List.iter
+    (fun mode ->
+      let n = S.abort_induction ~threads:2 ~mode () in
+      let r = S.run n in
+      check_bool (n.S.sname ^ " clean") false (has_violation r))
+    [ Vstate.Sc; Vstate.Tso ]
+
 let test_induction_step () =
   List.iter
     (fun mode ->
@@ -236,6 +260,8 @@ let () =
           Alcotest.test_case "base steps (SC)" `Slow test_base_steps_sc;
           Alcotest.test_case "base steps (TSO)" `Slow test_base_steps_tso;
           Alcotest.test_case "induction step" `Slow test_induction_step;
+          Alcotest.test_case "abort steps" `Slow test_abort_steps;
+          Alcotest.test_case "abort induction" `Slow test_abort_induction;
           Alcotest.test_case "peterson exhibit" `Quick
             test_peterson_exhibit;
           Alcotest.test_case "unknown lock" `Quick test_unknown_lock;

@@ -51,9 +51,14 @@ let test_broken_lock_detected () =
         (fun _ ->
           {
             RT.l_name = "broken";
+            l_abortable = false;
             handle =
               (fun ?stats:_ ~cpu:_ () ->
-                { RT.acquire = (fun () -> ()); release = (fun () -> ()) });
+                {
+                  RT.acquire = (fun () -> ());
+                  release = (fun () -> ());
+                  try_acquire = (fun ~deadline:_ -> true);
+                });
           });
     }
   in
