@@ -30,12 +30,25 @@ let flatten (r : Report.t) =
 
 let pp_key (e, l, t) = Printf.sprintf "%s/%s/%dT" e l t
 
-let check baseline current max_drop max_jain_drop min_jain =
+(* Harness cost (how long the report took to produce, and what the
+   parallel executor bought), not a benchmark comparison — informational
+   only, never part of the gate. *)
+let pp_meta label (r : Report.t) =
+  match r.meta with
+  | None -> ()
+  | Some m ->
+      Printf.printf
+        "bench_check: %s harness: %d job(s), %.2fs wall, %.2fx speedup\n"
+        label m.Report.jobs m.Report.wall_s m.Report.speedup
+
+let check baseline current max_drop max_jain_drop min_jain require_all =
   match (load baseline, load current) with
   | Error msg, _ | _, Error msg ->
       prerr_endline ("bench_check: " ^ msg);
       exit 2
   | Ok base, Ok cur ->
+      pp_meta "baseline" base;
+      pp_meta "current" cur;
       let cur_points = flatten cur in
       let find key =
         List.find_opt (fun k -> k.key = key) cur_points
@@ -82,6 +95,13 @@ let check baseline current max_drop max_jain_drop min_jain =
         prerr_endline
           "bench_check: no comparable points (different experiments, \
            locks or thread grids?)";
+        exit 1
+      end;
+      if require_all && !missing > 0 then begin
+        Printf.eprintf
+          "bench_check: %d baseline point(s) unmatched in current \
+           (--require-all)\n"
+          !missing;
         exit 1
       end;
       List.iter prerr_endline (List.rev !violations);
@@ -136,6 +156,17 @@ let min_jain =
           "Absolute fairness floor: fail if any current point's Jain \
            index is below J (0 disables).")
 
+let require_all =
+  Arg.(
+    value & flag
+    & info [ "require-all" ]
+        ~doc:
+          "Fail when any baseline point has no matching point in the \
+           current report (instead of only warning). With \
+           $(b,--max-drop) 0 and $(b,--max-jain-drop) 0, two reports \
+           with identical series pass in both directions only if they \
+           are point-for-point equal.")
+
 let main =
   let doc =
     "Compare two clof_bench JSON reports and fail on throughput or \
@@ -145,6 +176,6 @@ let main =
     (Cmd.info "bench_check" ~doc ~version:"1.0.0")
     Term.(
       const check $ baseline $ current $ max_drop $ max_jain_drop
-      $ min_jain)
+      $ min_jain $ require_all)
 
 let () = exit (Cmd.eval main)

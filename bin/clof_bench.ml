@@ -13,7 +13,16 @@ let list_experiments () =
     (fun (id, descr) -> Printf.printf "%-16s %s\n" id descr)
     Clof_harness.Report.ids
 
-let run_ids quick ids =
+(* [-j 0] (the cmdliner default) means "pick for me": one job per
+   recommended domain. Results are identical for every job count — each
+   simulation is deterministic and runs wholly on one domain — so -j
+   only changes wall-clock. *)
+let set_jobs j =
+  Clof_exec.Exec.set_jobs
+    (if j <= 0 then max 1 (Domain.recommended_domain_count ()) else j)
+
+let run_ids quick jobs ids =
+  set_jobs jobs;
   Clof_harness.Experiments.set_quick quick;
   let ppf = Format.std_formatter in
   match ids with
@@ -39,7 +48,8 @@ let run_ids quick ids =
             ids;
           `Ok ())
 
-let report quick out ids =
+let report quick jobs out ids =
+  set_jobs jobs;
   let ids =
     match ids with [] -> List.map fst Clof_harness.Report.ids | ids -> ids
   in
@@ -63,9 +73,19 @@ let report quick out ids =
           Printf.printf "wrote %s (%d experiment(s), schema v%d)\n" out
             (List.length r.Clof_harness.Report.experiments)
             Clof_harness.Report.schema_version;
+          (match r.Clof_harness.Report.meta with
+          | None -> ()
+          | Some m ->
+              Printf.printf
+                "harness: %d job(s), %.2fs wall, %.2fs busy, %.2fx \
+                 speedup\n"
+                m.Clof_harness.Report.jobs m.Clof_harness.Report.wall_s
+                m.Clof_harness.Report.busy_s
+                m.Clof_harness.Report.speedup);
           `Ok ())
 
-let faults_gate quick =
+let faults_gate quick jobs =
+  set_jobs jobs;
   Clof_harness.Experiments.set_quick quick;
   ignore (Clof_harness.Experiments.run Format.std_formatter "faults");
   match
@@ -92,6 +112,16 @@ let quick =
     & info [ "quick" ]
         ~doc:"Shorter simulations and coarser sampling (smoke mode).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run simulations on $(docv) domains in parallel. 0 (the \
+           default) picks the recommended domain count; 1 is exactly \
+           sequential. Benchmark results are identical for every value \
+           - only wall-clock changes.")
+
 let ids_arg =
   Arg.(
     value & pos_all string []
@@ -104,7 +134,7 @@ let run_cmd =
   let doc = "Reproduce the paper's tables and figures on the simulator" in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(ret (const run_ids $ quick $ ids_arg))
+    Term.(ret (const run_ids $ quick $ jobs_arg $ ids_arg))
 
 let list_cmd =
   let doc = "List the available experiments" in
@@ -131,14 +161,16 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(ret (const report $ quick $ out $ ids))
+    Term.(ret (const report $ quick $ jobs_arg $ out $ ids))
 
 let faults_cmd =
   let doc =
     "Run the fault-injection matrix and fail if any fair lock wedges \
      under a transient stall (the CI robustness gate)"
   in
-  Cmd.v (Cmd.info "faults" ~doc) Term.(ret (const faults_gate $ quick))
+  Cmd.v
+    (Cmd.info "faults" ~doc)
+    Term.(ret (const faults_gate $ quick $ jobs_arg))
 
 let main =
   let doc =
@@ -146,7 +178,7 @@ let main =
      multi-level NUMA machine"
   in
   Cmd.group
-    ~default:Term.(ret (const run_ids $ quick $ ids_arg))
+    ~default:Term.(ret (const run_ids $ quick $ jobs_arg $ ids_arg))
     (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
     [ run_cmd; list_cmd; report_cmd; faults_cmd ]
 

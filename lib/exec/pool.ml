@@ -1,0 +1,143 @@
+type t = {
+  domains : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set in every spawned worker: a nested [map_ordered] from inside a
+   job must not block on the queue it is supposed to be draining. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  let job =
+    let rec wait () =
+      if t.closed then None
+      else
+        match Queue.take_opt t.q with
+        | Some _ as j -> j
+        | None ->
+            Condition.wait t.nonempty t.m;
+            wait ()
+    in
+    wait ()
+  in
+  Mutex.unlock t.m;
+  match job with
+  | None -> ()
+  | Some j ->
+      j ();
+      worker_loop t
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let t =
+    {
+      domains;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker true;
+            worker_loop t));
+  t
+
+let size t = t.domains
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let ensure_open t =
+  Mutex.lock t.m;
+  let closed = t.closed in
+  Mutex.unlock t.m;
+  if closed then invalid_arg "Pool.map_ordered: pool is shut down"
+
+let map_ordered (type a b) t (f : a -> b) (items : a list) : b list =
+  ensure_open t;
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | items ->
+      if t.domains <= 1 || Domain.DLS.get in_worker then List.map f items
+      else begin
+        let arr = Array.of_list items in
+        let n = Array.length arr in
+        (* Slots are written once each, by the domain that ran the job;
+           the final read happens after synchronizing on [remaining]
+           (atomic) and [fin_m], which publishes them. *)
+        let results :
+            (b, exn * Printexc.raw_backtrace) result option array =
+          Array.make n None
+        in
+        let remaining = Atomic.make n in
+        let fin_m = Mutex.create () in
+        let fin_c = Condition.create () in
+        let job i () =
+          let r =
+            match f arr.(i) with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock fin_m;
+            Condition.broadcast fin_c;
+            Mutex.unlock fin_m
+          end
+        in
+        Mutex.lock t.m;
+        if t.closed then begin
+          Mutex.unlock t.m;
+          invalid_arg "Pool.map_ordered: pool is shut down"
+        end;
+        for i = 0 to n - 1 do
+          Queue.add (job i) t.q
+        done;
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.m;
+        (* The caller is one of the pool's domains: help drain. *)
+        let rec help () =
+          Mutex.lock t.m;
+          let j = Queue.take_opt t.q in
+          Mutex.unlock t.m;
+          match j with
+          | Some j ->
+              j ();
+              help ()
+          | None -> ()
+        in
+        help ();
+        Mutex.lock fin_m;
+        while Atomic.get remaining > 0 do
+          Condition.wait fin_c fin_m
+        done;
+        Mutex.unlock fin_m;
+        (* Deterministic error propagation: the lowest-index failure is
+           the one sequential execution would have raised first. *)
+        Array.iter
+          (function
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | Some (Ok _) | None -> ())
+          results;
+        Array.to_list
+          (Array.map
+             (function
+               | Some (Ok v) -> v
+               | Some (Error _) | None -> assert false)
+             results)
+      end

@@ -1,0 +1,39 @@
+(** Fixed-size domain pool with a shared FIFO work queue.
+
+    [create ~domains] spawns [domains - 1] worker domains; the calling
+    domain is the pool's remaining member and helps drain the queue
+    inside {!map_ordered}. [~domains:1] therefore spawns nothing and
+    runs every job inline, in submission order — bit-for-bit the
+    sequential behaviour.
+
+    Jobs are independent simulations: each runs entirely on one domain
+    (the engine keeps its state in domain-local storage), so two jobs
+    never share a simulator instance. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] builds a pool of [domains] total domains
+    (including the caller's).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** The [domains] the pool was created with. *)
+
+val map_ordered : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_ordered pool f items] applies [f] to every item, running up to
+    [size pool] applications concurrently, and returns the results in
+    the order of [items] regardless of completion order.
+
+    Exceptions are captured per job; once every job has finished, the
+    failure with the {e lowest index} is re-raised (with its original
+    backtrace) — exactly the one a sequential [List.map] would have
+    surfaced first, so error behaviour is deterministic.
+
+    A call made from inside a pool job runs sequentially inline
+    (blocking on the shared queue from a worker would deadlock).
+    @raise Invalid_argument when the pool has been {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Pending jobs are discarded; must
+    not be called while a {!map_ordered} is in flight. Idempotent. *)

@@ -9,6 +9,7 @@ module Cohort = Clof_baselines.Cohort.Make (M)
 module W = Clof_workloads.Workload
 module RT = Clof_core.Runtime
 module Sel = Clof_core.Selection
+module Exec = Clof_exec.Exec
 
 let quick = ref false
 let set_quick b = quick := b
@@ -56,12 +57,18 @@ let sweep_of p depth =
       Hashtbl.add sweeps key s;
       s
 
-let sweep_spec ~platform ~params spec =
-  List.map
-    (fun n ->
-      let r = W.run ~platform ~nthreads:n ~spec params in
-      (n, r.W.throughput))
-    (grid platform)
+(* Sweep a whole lock panel as one flat (spec x threadcount) batch of
+   parallel jobs — the common shape of the figure experiments. *)
+let sweep_series ~platform ~params specs =
+  let rows =
+    Exec.product_map
+      (fun spec n ->
+        (n, (W.run ~platform ~nthreads:n ~spec params).W.throughput))
+      specs (grid platform)
+  in
+  List.map2
+    (fun spec points -> { Sel.lock = spec.RT.s_name; points })
+    specs rows
 
 let series_table ppf ~platform (series : Sel.series list) =
   let header =
@@ -138,16 +145,8 @@ let fig2 ppf () =
       clof_spec p 4;
     ]
   in
-  let series =
-    List.map
-      (fun spec ->
-        {
-          Sel.lock = spec.RT.s_name;
-          points = sweep_spec ~platform:p ~params:(leveldb ()) spec;
-        })
-      specs
-  in
-  series_table ppf ~platform:p series
+  series_table ppf ~platform:p
+    (sweep_series ~platform:p ~params:(leveldb ()) specs)
 
 (* Figure 3: basic locks on isolated cohorts at maximum contention, one
    thread per child cohort (one per hyperthread at the core level). *)
@@ -198,24 +197,22 @@ let fig3 ppf () =
       let header =
         "cohort" :: List.map Clof_locks.Lock_intf.name locks
       in
-      let rows =
-        List.map
-          (fun level ->
+      let cells =
+        Exec.product_map
+          (fun level lk ->
             let cpus = cohort_cpus p.Platform.topo level in
-            let cells =
-              List.map
-                (fun lk ->
-                  let r =
-                    W.run_on_cpus ~check:false ~platform:p ~cpus
-                      ~spec:(RT.of_basic lk) params
-                  in
-                  r.W.throughput)
-                locks
-            in
+            (W.run_on_cpus ~check:false ~platform:p ~cpus
+               ~spec:(RT.of_basic lk) params)
+              .W.throughput)
+          levels locks
+      in
+      let rows =
+        List.map2
+          (fun level cells ->
             ( Printf.sprintf "%s(%dT)" (Level.abbrev level)
-                (Array.length cpus),
+                (Array.length (cohort_cpus p.Platform.topo level)),
               cells ))
-          levels
+          levels cells
       in
       Format.pp_print_string ppf (Render.table ~header ~rows))
     [
@@ -240,16 +237,8 @@ let fig4 ppf () =
       Shfl.spec ();
     ]
   in
-  let series =
-    List.map
-      (fun spec ->
-        {
-          Sel.lock = spec.RT.s_name;
-          points = sweep_spec ~platform:p ~params:(leveldb ()) spec;
-        })
-      specs
-  in
-  series_table ppf ~platform:p series
+  series_table ppf ~platform:p
+    (sweep_series ~platform:p ~params:(leveldb ()) specs)
 
 let fig9 ppf p depth tag =
   let s = sweep_of p depth in
@@ -317,16 +306,8 @@ let fig10 ppf () =
                 Shfl.spec ();
               ]
           in
-          let series =
-            List.map
-              (fun spec ->
-                {
-                  Sel.lock = spec.RT.s_name;
-                  points = sweep_spec ~platform:p ~params spec;
-                })
-              specs
-          in
-          series_table ppf ~platform:p series)
+          series_table ppf ~platform:p
+            (sweep_series ~platform:p ~params specs))
         [ Platform.x86; Platform.armv8 ])
     [ ("LevelDB", leveldb ()); ("Kyoto Cabinet", kyoto ()) ]
 
@@ -371,22 +352,24 @@ let fairness ppf () =
       Format.fprintf ppf "%s, %d threads:@."
         (Topology.name p.Platform.topo)
         nthreads;
-      List.iter
-        (fun spec ->
-          let r =
-            W.run ~platform:p ~nthreads ~spec (leveldb ())
-          in
-          Format.fprintf ppf "  %-28s jain=%.4f (min %d, max %d ops)@."
-            r.W.lock (jain r.W.per_thread)
-            (Array.fold_left min max_int r.W.per_thread)
-            (Array.fold_left max 0 r.W.per_thread))
+      let specs =
         [
           clof_spec p 4;
           RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
           Cna.spec ();
           RT.of_basic R.mcs;
           Cohort.c_bo_mcs;
-        ])
+        ]
+      in
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  %-28s jain=%.4f (min %d, max %d ops)@."
+            r.W.lock (jain r.W.per_thread)
+            (Array.fold_left min max_int r.W.per_thread)
+            (Array.fold_left max 0 r.W.per_thread))
+        (Exec.map
+           (fun spec -> W.run ~platform:p ~nthreads ~spec (leveldb ()))
+           specs))
     [ Platform.x86; Platform.armv8 ]
 
 let ablate_h ppf () =
@@ -397,19 +380,16 @@ let ablate_h ppf () =
   let p = Platform.armv8 in
   let name = lc_best_name p 4 in
   let threads = [ 8; 32; 127 ] in
-  let rows =
-    List.map
-      (fun h ->
+  let hs = [ 1; 8; 32; 128; 512; 4096 ] in
+  let cells =
+    Exec.product_map
+      (fun h n ->
         let spec = Scripted.spec_of_name ~platform:p ~depth:4 ~h name in
-        let cells =
-          List.map
-            (fun n ->
-              (W.run ~platform:p ~nthreads:n ~spec (leveldb ()))
-                .W.throughput)
-            threads
-        in
-        (Printf.sprintf "H=%d" h, cells))
-      [ 1; 8; 32; 128; 512; 4096 ]
+        (W.run ~platform:p ~nthreads:n ~spec (leveldb ())).W.throughput)
+      hs threads
+  in
+  let rows =
+    List.map2 (fun h cells -> (Printf.sprintf "H=%d" h, cells)) hs cells
   in
   let header = name :: List.map string_of_int threads in
   Format.pp_print_string ppf (Render.table ~header ~rows)
@@ -428,19 +408,18 @@ let ablate_levels ppf () =
         ~hierarchy:(Platform.hierarchy_of_depth p depth)
         (G.build (List.init depth (fun _ -> R.clh)))
   in
+  let depths = [ 1; 2; 3; 4 ] in
+  let cells =
+    Exec.product_map
+      (fun depth n ->
+        (W.run ~platform:p ~nthreads:n ~spec:(spec_of depth) (leveldb ()))
+          .W.throughput)
+      depths threads
+  in
   let rows =
-    List.map
-      (fun depth ->
-        let spec = spec_of depth in
-        let cells =
-          List.map
-            (fun n ->
-              (W.run ~platform:p ~nthreads:n ~spec (leveldb ()))
-                .W.throughput)
-            threads
-        in
-        (Printf.sprintf "clof<%d> clh" depth, cells))
-      [ 1; 2; 3; 4 ]
+    List.map2
+      (fun depth cells -> (Printf.sprintf "clof<%d> clh" depth, cells))
+      depths cells
   in
   let header = "depth" :: List.map string_of_int threads in
   Format.pp_print_string ppf (Render.table ~header ~rows)
@@ -452,8 +431,7 @@ let locality ppf () =
         keep_local mechanism observed directly, 95T x86 LevelDB)");
   let p = Platform.x86 in
   List.iter
-    (fun spec ->
-      let r = W.run ~platform:p ~nthreads:95 ~spec (leveldb ()) in
+    (fun r ->
       let total =
         max 1 (List.fold_left (fun a (_, n) -> a + n) 0 r.W.transfers)
       in
@@ -465,12 +443,14 @@ let locality ppf () =
               (100.0 *. float_of_int n /. float_of_int total))
         r.W.transfers;
       Format.fprintf ppf "   (%.3f ops/us)@." r.W.throughput)
-    [
-      RT.of_basic R.mcs;
-      RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
-      Cna.spec ();
-      clof_spec p 4;
-    ]
+    (Exec.map
+       (fun spec -> W.run ~platform:p ~nthreads:95 ~spec (leveldb ()))
+       [
+         RT.of_basic R.mcs;
+         RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
+         Cna.spec ();
+         clof_spec p 4;
+       ])
 
 let fastpath ppf () =
   Format.pp_print_string ppf
@@ -488,16 +468,15 @@ let fastpath ppf () =
     RT.of_clof ~hierarchy (module F : Clof_core.Clof_intf.S)
   in
   let threads = [ 1; 2; 4; 8; 32; 95 ] in
+  let specs = [ plain; fp ] in
+  let cells =
+    Exec.product_map
+      (fun spec n ->
+        (W.run ~platform:p ~nthreads:n ~spec (leveldb ())).W.throughput)
+      specs threads
+  in
   let rows =
-    List.map
-      (fun spec ->
-        ( spec.RT.s_name,
-          List.map
-            (fun n ->
-              (W.run ~platform:p ~nthreads:n ~spec (leveldb ()))
-                .W.throughput)
-            threads ))
-      [ plain; fp ]
+    List.map2 (fun spec cells -> (spec.RT.s_name, cells)) specs cells
   in
   let header = "lock" :: List.map string_of_int threads in
   Format.pp_print_string ppf (Render.table ~header ~rows)
@@ -509,16 +488,9 @@ let cohorts ppf () =
   List.iter
     (fun p ->
       Format.fprintf ppf "%s:@." (Topology.name p.Platform.topo);
-      let series =
-        List.map
-          (fun spec ->
-            {
-              Sel.lock = spec.RT.s_name;
-              points = sweep_spec ~platform:p ~params:(leveldb ()) spec;
-            })
-          (Cohort.all @ [ RT.of_basic R.mcs ])
-      in
-      series_table ppf ~platform:p series)
+      series_table ppf ~platform:p
+        (sweep_series ~platform:p ~params:(leveldb ())
+           (Cohort.all @ [ RT.of_basic R.mcs ])))
     [ Platform.x86 ]
 
 let stats_exp ppf () =
@@ -529,8 +501,7 @@ let stats_exp ppf () =
   let p = Platform.x86 in
   let module S = Clof_stats.Stats in
   List.iter
-    (fun spec ->
-      let r = W.run ~platform:p ~nthreads:95 ~spec (leveldb ()) in
+    (fun r ->
       let s = r.W.stats in
       Format.fprintf ppf
         "%-26s acq %8d   fast-path %7d   contended %8d   spins %8d@."
@@ -555,12 +526,14 @@ let stats_exp ppf () =
              bucket], %d samples@."
             p50 p99 (S.latency_samples s)
       | _ -> ())
-    [
-      RT.of_basic R.mcs;
-      RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
-      Cna.spec ();
-      clof_spec p 4;
-    ]
+    (Exec.map
+       (fun spec -> W.run ~platform:p ~nthreads:95 ~spec (leveldb ()))
+       [
+         RT.of_basic R.mcs;
+         RT.rename "hmcs<4>" (Hmcs.spec ~hierarchy:(Platform.hier4 p) ());
+         Cna.spec ();
+         clof_spec p 4;
+       ])
 
 (* ---------- fault injection (robustness harness) ---------- *)
 
@@ -672,31 +645,31 @@ let fault_matrix () =
   | None ->
       let platform, panel = fault_panel () in
       let params = fault_params () in
-      let m =
-        List.map
-          (fun (spec, fair, abortable) ->
-            let cells =
-              List.map
-                (fun (fname, faults) ->
-                  let r =
-                    W.run ~check:false ~faults ~deadline:fault_deadline
-                      ~platform ~nthreads:fault_nthreads ~spec params
-                  in
-                  {
-                    fc_fault = fname;
-                    fc_class = classify params r;
-                    fc_timeouts = Clof_stats.Stats.timeouts r.W.stats;
-                    fc_hung = r.W.hung;
-                  })
-                fault_scenarios
+      let cells =
+        Exec.product_map
+          (fun (spec, _, _) (fname, faults) ->
+            let r =
+              W.run ~check:false ~faults ~deadline:fault_deadline ~platform
+                ~nthreads:fault_nthreads ~spec params
             in
+            {
+              fc_fault = fname;
+              fc_class = classify params r;
+              fc_timeouts = Clof_stats.Stats.timeouts r.W.stats;
+              fc_hung = r.W.hung;
+            })
+          panel fault_scenarios
+      in
+      let m =
+        List.map2
+          (fun (spec, fair, abortable) cells ->
             {
               fr_lock = spec.RT.s_name;
               fr_fair = fair;
               fr_abortable = abortable;
               fr_cells = cells;
             })
-          panel
+          panel cells
       in
       fault_matrix_memo := Some m;
       m
@@ -758,6 +731,20 @@ let faults ppf () =
             fault)
         bad
 
+let scripted_exp ppf () =
+  let p = Platform.x86 in
+  let s = sweep_of p 2 in
+  Format.pp_print_string ppf
+    (Render.section
+       (Printf.sprintf
+          "Scripted sweep: all %d 2-level CLoF locks on %s (Section 4.3)"
+          (List.length s.Scripted.series)
+          (Topology.name p.Platform.topo)));
+  series_table ppf ~platform:p (s.Scripted.series @ [ s.Scripted.hmcs ]);
+  Format.fprintf ppf "HC-best: %s@." (Scripted.hc_best s).Sel.lock;
+  Format.fprintf ppf "LC-best: %s@." (Scripted.lc_best s).Sel.lock;
+  Format.fprintf ppf "worst:   %s@." (Scripted.worst s).Sel.lock
+
 let discover ppf () =
   Format.pp_print_string ppf
     (Render.section "Hierarchy discovery (Figure 5, first step)");
@@ -792,6 +779,7 @@ let ids =
     ("stats", "per-level lock counters: handover locality, keep_local, latency");
     ("fastpath", "TAS fast-path extension ablation (paper 6)");
     ("faults", "stall/crash injection matrix with recovery classification");
+    ("scripted", "2-level scripted sweep with HC/LC ranking (4.3)");
     ("discover", "automated hierarchy inference (Figure 5)");
   ]
 
@@ -817,6 +805,7 @@ let run ppf = function
   | "stats" -> stats_exp ppf (); true
   | "fastpath" -> fastpath ppf (); true
   | "faults" -> faults ppf (); true
+  | "scripted" -> scripted_exp ppf (); true
   | "discover" -> discover ppf (); true
   | _ -> false
 

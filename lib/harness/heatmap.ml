@@ -21,18 +21,29 @@ let measure ?(duration = 120_000) ?(stride = 1) ~platform () =
   let topo = platform.Platform.topo in
   let n = Topology.ncpus topo in
   let measured = Hashtbl.create 1024 in
-  for i = 0 to n - 1 do
+  (* the pairwise pingpong grid: every cell is an independent two-thread
+     simulation, measured as one batch of parallel jobs *)
+  let pairs = ref [] in
+  for i = n - 1 downto 0 do
     if i mod stride = 0 then
-      for j = i to n - 1 do
-        if j mod stride = 0 then begin
-          let v = Clof_workloads.Pingpong.throughput ~duration ~platform i j in
-          Hashtbl.replace measured (i, j) v
-        end
+      for j = n - 1 downto i do
+        if j mod stride = 0 then pairs := (i, j) :: !pairs
       done
   done;
+  let pairs = !pairs in
+  List.iter2
+    (fun (i, j) v -> Hashtbl.replace measured (i, j) v)
+    pairs
+    (Clof_exec.Exec.map
+       (fun (i, j) ->
+         Clof_workloads.Pingpong.throughput ~duration ~platform i j)
+       pairs);
   (* strides can alias with cohort sizes (e.g. stride 3 never pairs two
      cores of one 3-core L3 partition), so guarantee every proximity
-     class that exists on the machine has at least a few samples *)
+     class that exists on the machine has at least a few samples. The
+     candidate scan starts at j = i, not i + 1: [Same_cpu] pairs live
+     on the diagonal, and skipping it would leave that class without a
+     backfill path. *)
   let covered p =
     Hashtbl.fold
       (fun (i, j) _ acc -> acc || Topology.proximity topo i j = p)
@@ -44,7 +55,7 @@ let measure ?(duration = 120_000) ?(stride = 1) ~platform () =
         let found = ref 0 in
         (try
            for i = 0 to n - 1 do
-             for j = i + 1 to n - 1 do
+             for j = i to n - 1 do
                if !found < 3 && Topology.proximity topo i j = p then begin
                  let v =
                    Clof_workloads.Pingpong.throughput ~duration ~platform i

@@ -31,7 +31,18 @@ type experiment = {
   series : series list;
 }
 
-type t = { version : int; quick : bool; experiments : experiment list }
+(* Harness (not benchmark) performance: how long the report itself took
+   to produce. [busy_s] sums the wall-clock of every simulation job, so
+   [busy_s /. wall_s] is the speedup the parallel executor delivered;
+   bench_check surfaces both so CI can track harness cost over time. *)
+type meta = { jobs : int; wall_s : float; busy_s : float; speedup : float }
+
+type t = {
+  version : int;
+  quick : bool;
+  meta : meta option;
+  experiments : experiment list;
+}
 
 let jain counts =
   let xs = Array.map float_of_int counts in
@@ -98,16 +109,18 @@ let params ~quick =
 let build_experiment ~quick id p =
   let threadcounts = grid ~quick p in
   let params = params ~quick in
+  let specs = panel p in
+  (* one flat (lock x threadcount) batch of parallel jobs *)
+  let rows =
+    Clof_exec.Exec.product_map
+      (fun spec n ->
+        point_of_result (n, W.run ~platform:p ~nthreads:n ~spec params))
+      specs threadcounts
+  in
   let series =
-    List.map
-      (fun spec ->
-        {
-          lock = spec.RT.s_name;
-          points =
-            List.map point_of_result
-              (Scripted.sweep_results ~platform:p ~threadcounts ~params spec);
-        })
-      (panel p)
+    List.map2
+      (fun spec points -> { lock = spec.RT.s_name; points })
+      specs rows
   in
   {
     exp_id = id;
@@ -128,17 +141,25 @@ let run ?(quick = false) = function
                (String.concat ", " unknown)
                (String.concat ", " (List.map fst ids)))
       | [] ->
-          Ok
+          let t0 = Clof_exec.Exec.now_s () in
+          let b0 = Clof_exec.Exec.busy_s () in
+          let experiments =
+            List.map
+              (fun id ->
+                build_experiment ~quick id (Option.get (platform_of_id id)))
+              want
+          in
+          let wall_s = Clof_exec.Exec.now_s () -. t0 in
+          let busy_s = Clof_exec.Exec.busy_s () -. b0 in
+          let meta =
             {
-              version = schema_version;
-              quick;
-              experiments =
-                List.map
-                  (fun id ->
-                    build_experiment ~quick id
-                      (Option.get (platform_of_id id)))
-                  want;
-            })
+              jobs = Clof_exec.Exec.jobs ();
+              wall_s;
+              busy_s;
+              speedup = (if wall_s > 0.0 then busy_s /. wall_s else 1.0);
+            }
+          in
+          Ok { version = schema_version; quick; meta = Some meta; experiments })
 
 (* ---------- JSON ---------- *)
 
@@ -169,13 +190,22 @@ let experiment_to_json e =
       ("series", J.Arr (List.map series_to_json e.series));
     ]
 
-let to_json t =
+let meta_to_json m =
   J.Obj
     [
-      ("schema_version", J.Int t.version);
-      ("quick", J.Bool t.quick);
-      ("experiments", J.Arr (List.map experiment_to_json t.experiments));
+      ("jobs", J.Int m.jobs);
+      ("wall_s", J.Float m.wall_s);
+      ("busy_s", J.Float m.busy_s);
+      ("speedup", J.Float m.speedup);
     ]
+
+let to_json t =
+  J.Obj
+    ([ ("schema_version", J.Int t.version); ("quick", J.Bool t.quick) ]
+    @ (match t.meta with
+      | None -> []
+      | Some m -> [ ("meta", meta_to_json m) ])
+    @ [ ("experiments", J.Arr (List.map experiment_to_json t.experiments)) ])
 
 let to_string t = J.to_string ~indent:2 (to_json t)
 
@@ -220,6 +250,16 @@ let experiment_of_json j =
   let* series = map_result series_of_json srs in
   Ok { exp_id; platform; workload; series }
 
+(* [meta] is additive: reports written before it existed (and -j 1
+   reports from older binaries) parse to [None]. *)
+let meta_of_json j =
+  let ctx = "meta" in
+  let* jobs = field "jobs" J.to_int ctx j in
+  let* wall_s = field "wall_s" J.to_float ctx j in
+  let* busy_s = field "busy_s" J.to_float ctx j in
+  let* speedup = field "speedup" J.to_float ctx j in
+  Ok { jobs; wall_s; busy_s; speedup }
+
 let of_json j =
   let ctx = "report" in
   let* version = field "schema_version" J.to_int ctx j in
@@ -229,9 +269,16 @@ let of_json j =
          schema_version)
   else
     let* quick = field "quick" J.to_bool ctx j in
+    let* meta =
+      match J.member "meta" j with
+      | None -> Ok None
+      | Some m ->
+          let* m = meta_of_json m in
+          Ok (Some m)
+    in
     let* exps = field "experiments" J.to_list ctx j in
     let* experiments = map_result experiment_of_json exps in
-    Ok { version; quick; experiments }
+    Ok { version; quick; meta; experiments }
 
 let of_string s =
   let* j = J.of_string s in

@@ -29,7 +29,26 @@ type experiment = {
   series : series list;
 }
 
-type t = { version : int; quick : bool; experiments : experiment list }
+type meta = {
+  jobs : int;  (** executor size ([-j]) the report was produced with *)
+  wall_s : float;  (** elapsed wall-clock of the whole report run *)
+  busy_s : float;
+      (** summed wall-clock of the individual simulation jobs — the
+          sequential-cost estimate *)
+  speedup : float;  (** [busy_s /. wall_s]: what the parallel executor
+          delivered *)
+}
+(** Harness performance, so CI can track the cost of producing the
+    report (not the benchmark results themselves) over time. Benchmark
+    series are identical for any [jobs] value; only this block
+    varies. *)
+
+type t = {
+  version : int;
+  quick : bool;
+  meta : meta option;  (** [None] in reports predating the field *)
+  experiments : experiment list;
+}
 
 val jain : int array -> float
 (** Jain fairness index: 1.0 = perfectly fair, 1/n = one thread owns

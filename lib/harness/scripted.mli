@@ -12,8 +12,11 @@ type t = {
 }
 
 val thread_grid : Clof_topology.Platform.t -> int list
-(** The paper's contention levels: up to 95 threads on x86, 127 on
-    Armv8. *)
+(** The paper's contention levels, clamped to the platform: base
+    points above [Topology.ncpus] are dropped, the paper's
+    [ncpus - 1] point is always included, and the result is sorted
+    and deduplicated — up to 95 threads on the preset x86, 127 on the
+    preset Armv8, and safe on arbitrarily small custom platforms. *)
 
 val ctr_for : Clof_topology.Platform.t -> bool
 (** Hemlock CTR on x86, off on Armv8 (Section 3.2). *)
@@ -27,7 +30,10 @@ val run :
   unit ->
   t
 (** Benchmark all compositions (LevelDB parameters by default, #runs=1
-    and a short duration, as the paper's scripted benchmark does). *)
+    and a short duration, as the paper's scripted benchmark does). The
+    (composition x threadcount) matrix runs as one batch of parallel
+    jobs on {!Clof_exec.Exec}; results are independent of the job
+    count. *)
 
 val sweep_results :
   platform:Clof_topology.Platform.t ->

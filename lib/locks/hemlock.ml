@@ -13,13 +13,15 @@ struct
   let name = Cfg.label
   let fair = true
   let needs_ctx = true
-  let next_id = ref 1
+  (* Atomic: [create] runs concurrently when the harness instantiates
+     locks for parallel simulations; ids must stay unique or two locks
+     in one composition could alias their grant handshakes. *)
+  let next_id = Atomic.make 1
 
   let mk_ctx ?node () = { grant = M.make ?node ~name:"hem.grant" 0 }
 
   let create ?node () =
-    let id = !next_id in
-    incr next_id;
+    let id = Atomic.fetch_and_add next_id 1 in
     let nil = mk_ctx ?node () in
     { tail = M.make ?node ~name:"hem.tail" nil; nil; id }
 

@@ -316,7 +316,13 @@ let handle_access st th line acc =
   | Store _ | Rmw { wrote = true } -> wake_watchers st line th
   | Load | Rmw { wrote = false } -> ()
 
-let instance : state option ref = ref None
+(* One simulation per domain at a time. Domain-local (not a global
+   ref) so independent simulations can run concurrently on separate
+   domains — the work-pool parallelism of the benchmark harness. All
+   other engine state is threaded through [st] by the effect
+   handlers; this key only backs the re-entrancy guard. *)
+let instance : state option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let spawn st th body =
   let resume_later k = Pqueue.add st.q th.time (fun () -> k ()) in
@@ -438,7 +444,7 @@ let spawn st th body =
     }
 
 let run ?(duration = 1_000_000) ?(faults = []) ~platform ~threads () =
-  if !instance <> None then
+  if Domain.DLS.get instance <> None then
     invalid_arg "Engine.run: already inside a simulation";
   let topo = platform.Platform.topo in
   let st =
@@ -459,8 +465,8 @@ let run ?(duration = 1_000_000) ?(faults = []) ~platform ~threads () =
       crashed = [];
     }
   in
-  instance := Some st;
-  let cleanup () = instance := None in
+  Domain.DLS.set instance (Some st);
+  let cleanup () = Domain.DLS.set instance None in
   Fun.protect ~finally:cleanup (fun () ->
       List.iteri
         (fun i (cpu, body) ->

@@ -11,7 +11,14 @@
     same CPU timeshare it (per-CPU busy window + context-switch cost).
 
     This module is the substitute for the paper's 96-thread x86 and
-    128-core Armv8 servers; see DESIGN.md Section 2. *)
+    128-core Armv8 servers; see DESIGN.md Section 2.
+
+    Engine state is domain-local: each domain may run one simulation
+    at a time, and independent simulations on separate domains proceed
+    concurrently (how {!Clof_exec.Pool} parallelizes the benchmark
+    pipeline). Since every simulation is deterministic given its
+    inputs, results do not depend on how runs are scheduled across
+    domains. *)
 
 type access =
   | Load

@@ -9,11 +9,14 @@ type t = {
   mutable busy_until : int;
 }
 
-let counter = ref 0
+(* Atomic: lines are allocated concurrently when simulations run on
+   several domains. Ids only need to be unique (they key the engine's
+   per-simulation watcher table); nothing observable depends on their
+   values, so cross-domain interleaving does not affect results. *)
+let counter = Atomic.make 0
 
 let fresh ?(node = -1) ~name ~ncpus () =
-  let id = !counter in
-  incr counter;
+  let id = Atomic.fetch_and_add counter 1 in
   {
     id;
     name;
@@ -25,4 +28,4 @@ let fresh ?(node = -1) ~name ~ncpus () =
     busy_until = 0;
   }
 
-let reset_ids () = counter := 0
+let reset_ids () = Atomic.set counter 0

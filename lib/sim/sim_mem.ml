@@ -14,6 +14,7 @@ let make_on l ?name:_ v = { v; l }
 
 let line r = r.l
 let peek r = r.v
+let poke r v = r.v <- v
 
 let load ?o:_ r =
   Engine.access r.l Engine.Load;

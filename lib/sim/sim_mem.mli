@@ -11,3 +11,11 @@ val line : 'a aref -> Line.t
 val peek : 'a aref -> 'a
 (** Read the value without charging simulated cost (for assertions
     after a run). *)
+
+val poke : 'a aref -> 'a -> unit
+(** Write the value without charging simulated cost and without
+    counting as an atomic operation (fault anchors are op counts, so
+    instrumentation must stay op-neutral). For harness probes only:
+    sound because a simulation runs wholly on one domain and a
+    peek/poke pair cannot be preempted — there is no engine op between
+    them to yield at. *)

@@ -65,8 +65,20 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
   let recorders =
     Array.init nthreads (fun _ -> Clof_stats.Stats.create ())
   in
-  let in_cs = ref 0 in
-  let violated = ref false in
+  (* The mutual-exclusion probe lives on [M]'s cells, not plain OCaml
+     refs, so probe state belongs to the simulated memory rather than
+     the host heap when simulations run one per domain. Accesses go
+     through the op-neutral [peek]/[poke] pair: charging simulated cost
+     (or ops) for instrumentation would perturb every measurement and
+     shift the op counts that fault injection anchors to. *)
+  let in_cs = M.make ~name:"probe.in_cs" 0 in
+  let violated = M.make ~name:"probe.violated" false in
+  let probe_enter () =
+    let nesting = M.peek in_cs in
+    M.poke in_cs (nesting + 1);
+    if nesting <> 0 then M.poke violated true
+  in
+  let probe_exit () = M.poke in_cs (M.peek in_cs - 1) in
   let body cpu tid =
     let stats = recorders.(tid) in
     let sink = Clof_stats.Stats.Sink.of_recorder stats in
@@ -101,14 +113,13 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
       end
       else begin
         Clof_stats.Stats.Sink.acquired sink ~ns:(E.now () - t0);
-        incr in_cs;
-        if !in_cs <> 1 then violated := true;
+        probe_enter ();
         if read_work > 0 then E.work read_work;
         for j = 0 to p.cs_writes - 1 do
           M.store hot.(j) tid
         done;
         if p.cs_work > 0 then E.work p.cs_work;
-        decr in_cs;
+        probe_exit ();
         h.Clof_core.Runtime.release ();
         counts.(tid) <- counts.(tid) + 1;
         last_progress.(tid) <- E.now ();
@@ -121,7 +132,7 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
   in
   let o = E.run ~duration:p.duration ~faults ~platform ~threads () in
   if check then begin
-    if !violated then
+    if M.peek violated then
       raise
         (Lock_failure
            (Printf.sprintf "%s: mutual exclusion violated" lock.l_name));

@@ -266,6 +266,69 @@ let test_selection_empty () =
   Alcotest.(check (float 1e-9)) "empty score" 0.0
     (Sel.score Sel.High_contention [])
 
+(* The scripted benchmark reports its winners by name, so the ranking
+   must be a pure function of the series *set*: ties broken
+   lexicographically, input order irrelevant. *)
+let test_rank_deterministic () =
+  let series =
+    [
+      mk_series "clh-mcs" [ (1, 2.0); (16, 4.0) ];
+      mk_series "mcs-clh" [ (1, 3.0); (16, 1.0) ];
+      mk_series "tkt-tkt" [ (1, 1.0); (16, 5.0) ];
+    ]
+  in
+  let names l = List.map (fun s -> s.Sel.lock) l in
+  let reference = names (Sel.rank Sel.High_contention series) in
+  List.iter
+    (fun shuffled ->
+      check_bool "order-independent" true
+        (names (Sel.rank Sel.High_contention shuffled) = reference))
+    [
+      List.rev series;
+      (match series with [ a; b; c ] -> [ b; c; a ] | _ -> assert false);
+    ]
+
+let test_rank_tie_break () =
+  (* identical points -> identical scores; rank must fall back to the
+     lock name, never the input order *)
+  let pts = [ (1, 2.0); (16, 2.0) ] in
+  let tied = [ mk_series "zzz" pts; mk_series "aaa" pts; mk_series "mmm" pts ] in
+  List.iter
+    (fun policy ->
+      Alcotest.(check (list string))
+        (Sel.policy_to_string policy ^ " ties are lexicographic")
+        [ "aaa"; "mmm"; "zzz" ]
+        (List.map (fun s -> s.Sel.lock) (Sel.rank policy tied)))
+    [ Sel.High_contention; Sel.Low_contention ];
+  List.iter
+    (fun shuffled ->
+      Alcotest.(check (list string))
+        "tie-break ignores input order" [ "aaa"; "mmm"; "zzz" ]
+        (List.map (fun s -> s.Sel.lock) (Sel.rank Sel.High_contention shuffled)))
+    [ List.rev tied ]
+
+let test_score_weighting () =
+  (* HC weights by threads, LC by 1/threads: with points (1, a) and
+     (16, b) the HC score is (a + 16b)/17 and the LC is (a + b/16) /
+     (1 + 1/16) *)
+  let pts = [ (1, 10.0); (16, 1.0) ] in
+  Alcotest.(check (float 1e-9))
+    "HC weighted mean"
+    ((10.0 +. (16.0 *. 1.0)) /. 17.0)
+    (Sel.score Sel.High_contention pts);
+  Alcotest.(check (float 1e-9))
+    "LC weighted mean"
+    ((10.0 +. (1.0 /. 16.0)) /. (1.0 +. (1.0 /. 16.0)))
+    (Sel.score Sel.Low_contention pts);
+  (* a flat series scores its constant value under both policies *)
+  let flat = [ (1, 3.0); (8, 3.0); (64, 3.0) ] in
+  List.iter
+    (fun policy ->
+      Alcotest.(check (float 1e-9))
+        (Sel.policy_to_string policy ^ " flat")
+        3.0 (Sel.score policy flat))
+    [ Sel.High_contention; Sel.Low_contention ]
+
 let prop_rank_is_permutation =
   QCheck.Test.make ~name:"rank permutes the series" ~count:100
     QCheck.(list (pair (int_bound 1000) (list (pair (int_range 1 128) pos_float))))
@@ -369,6 +432,11 @@ let () =
         [
           Alcotest.test_case "policies" `Quick test_selection_policies;
           Alcotest.test_case "empty" `Quick test_selection_empty;
+          Alcotest.test_case "rank deterministic" `Quick
+            test_rank_deterministic;
+          Alcotest.test_case "lexicographic tie-break" `Quick
+            test_rank_tie_break;
+          Alcotest.test_case "HC/LC weighting" `Quick test_score_weighting;
           qcheck prop_rank_is_permutation;
           qcheck prop_rank_sorted_by_score;
         ] );

@@ -1,0 +1,172 @@
+module Pool = Clof_exec.Pool
+module Exec = Clof_exec.Exec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_pool ~domains f =
+  let p = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* ---------- Pool ---------- *)
+
+let test_create_invalid () =
+  check_bool "domains < 1 rejected" true
+    (try
+       ignore (Pool.create ~domains:0);
+       false
+     with Invalid_argument _ -> true);
+  with_pool ~domains:3 (fun p -> check_int "size" 3 (Pool.size p))
+
+let test_map_matches_list_map () =
+  (* skewed work: late items finish first under parallelism, so order
+     preservation is actually exercised *)
+  let items = List.init 64 (fun i -> 64 - i) in
+  let f n =
+    let acc = ref 0 in
+    for i = 1 to n * 1000 do
+      acc := !acc + i
+    done;
+    (n, !acc)
+  in
+  let expected = List.map f items in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          check_bool
+            (Printf.sprintf "ordered results, %d domains" domains)
+            true
+            (Pool.map_ordered p f items = expected)))
+    [ 1; 2; 4 ]
+
+let test_map_empty_and_singleton () =
+  with_pool ~domains:4 (fun p ->
+      check_bool "empty" true (Pool.map_ordered p succ [] = []);
+      check_bool "singleton" true (Pool.map_ordered p succ [ 41 ] = [ 42 ]))
+
+exception Boom of int
+
+let test_lowest_index_error () =
+  (* two failures; the one a sequential List.map would hit first must
+     win, no matter which job finishes first *)
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          check_bool
+            (Printf.sprintf "lowest index wins, %d domains" domains)
+            true
+            (try
+               ignore
+                 (Pool.map_ordered p
+                    (fun i ->
+                      if i = 2 || i = 5 then raise (Boom i) else i)
+                    [ 0; 1; 2; 3; 4; 5; 6 ]);
+               false
+             with Boom 2 -> true)))
+    [ 1; 2; 4 ]
+
+let test_nested_map_inline () =
+  (* a job that itself maps must not deadlock on the shared queue *)
+  with_pool ~domains:2 (fun p ->
+      let r =
+        Pool.map_ordered p
+          (fun i -> List.fold_left ( + ) 0 (Pool.map_ordered p succ [ i; i ]))
+          [ 1; 2; 3 ]
+      in
+      check_bool "nested" true (r = [ 4; 6; 8 ]))
+
+let test_map_after_shutdown () =
+  let p = Pool.create ~domains:2 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  check_bool "map after shutdown rejected" true
+    (try
+       ignore (Pool.map_ordered p succ [ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Exec (process-wide default) ---------- *)
+
+let test_set_jobs () =
+  Exec.set_jobs 3;
+  check_int "resized" 3 (Exec.jobs ());
+  Exec.set_jobs 0;
+  check_int "clamped to 1" 1 (Exec.jobs ())
+
+let test_exec_map_deterministic () =
+  let items = List.init 40 (fun i -> i) in
+  let f i = (i * 7919) mod 104729 in
+  let runs =
+    List.map
+      (fun j ->
+        Exec.set_jobs j;
+        Exec.map f items)
+      [ 1; 4; 2 ]
+  in
+  Exec.set_jobs 1;
+  match runs with
+  | [ a; b; c ] ->
+      check_bool "j1 = j4" true (a = b);
+      check_bool "j1 = j2" true (a = c);
+      check_bool "matches List.map" true (a = List.map f items)
+  | _ -> assert false
+
+let test_product_map_shape () =
+  Exec.set_jobs 4;
+  let rows = [ 10; 20; 30 ] and cols = [ 1; 2; 3; 4 ] in
+  let r = Exec.product_map (fun a b -> a + b) rows cols in
+  Exec.set_jobs 1;
+  check_int "one list per row" (List.length rows) (List.length r);
+  List.iter2
+    (fun row cells ->
+      check_bool
+        (Printf.sprintf "row %d" row)
+        true
+        (cells = List.map (fun c -> row + c) cols))
+    rows r
+
+let test_product_map_empty_cols () =
+  let r = Exec.product_map (fun _ _ -> assert false) [ 1; 2 ] [] in
+  check_bool "empty rows kept" true (r = [ []; [] ])
+
+let test_busy_accumulates () =
+  let b0 = Exec.busy_s () in
+  ignore
+    (Exec.map
+       (fun n ->
+         let acc = ref 0 in
+         for i = 1 to n do
+           acc := !acc + i
+         done;
+         !acc)
+       [ 100_000; 100_000 ]);
+  check_bool "busy_s monotonic" true (Exec.busy_s () >= b0)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create/size/invalid" `Quick test_create_invalid;
+          Alcotest.test_case "ordered map" `Quick test_map_matches_list_map;
+          Alcotest.test_case "empty/singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "lowest-index error" `Quick
+            test_lowest_index_error;
+          Alcotest.test_case "nested map inline" `Quick
+            test_nested_map_inline;
+          Alcotest.test_case "shutdown" `Quick test_map_after_shutdown;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "set_jobs" `Quick test_set_jobs;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_exec_map_deterministic;
+          Alcotest.test_case "product_map shape" `Quick
+            test_product_map_shape;
+          Alcotest.test_case "product_map empty cols" `Quick
+            test_product_map_empty_cols;
+          Alcotest.test_case "busy accounting" `Quick test_busy_accumulates;
+        ] );
+    ]

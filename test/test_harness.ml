@@ -68,6 +68,29 @@ let test_paper_speedups_table () =
   check_int "x86 rows" 5 (List.length (H.paper_speedups Platform.x86));
   check_int "arm rows" 4 (List.length (H.paper_speedups Platform.armv8))
 
+(* Regression: a stride that aliases with the cohort sizes leaves whole
+   proximity classes with no measured pair, and the backfill pass used
+   to skip diagonal (i, i) candidates, so Same_cpu (and on tiny, any
+   same-core pair: stride 6 only samples CPUs 0, 6 and 12, which share
+   nothing below the NUMA level) could end up without samples. Every
+   class that exists on the machine must get a mean. *)
+let test_heatmap_stride_aliasing () =
+  let h =
+    H.measure ~duration:40_000 ~stride:6 ~platform:Platform.tiny ()
+  in
+  let means = H.by_proximity h in
+  List.iter
+    (fun p ->
+      check_bool (Level.proximity_to_string p ^ " sampled") true
+        (List.mem_assoc p means))
+    [
+      Level.Same_cpu;
+      Level.Same_core;
+      Level.Same_cache;
+      Level.Same_numa;
+      Level.Same_system;
+    ]
+
 (* ---------- scripted benchmark ---------- *)
 
 let test_scripted_tiny () =
@@ -112,6 +135,96 @@ let test_grids () =
     (List.fold_left max 0 (Scripted.thread_grid Platform.armv8));
   check_bool "ctr on x86 only" true
     (Scripted.ctr_for Platform.x86 && not (Scripted.ctr_for Platform.armv8))
+
+(* a platform smaller than the paper's preset grids: 8 CPUs, two 4-CPU
+   NUMA nodes of two 2-CPU cache groups each *)
+let small8 =
+  {
+    Platform.topo =
+      Topology.create ~name:"small-8" ~ncpus:8 ~core_of:Fun.id
+        ~cache_of:(fun i -> i / 2)
+        ~numa_of:(fun i -> i / 4)
+        ~pkg_of:(fun i -> i / 4);
+    arch = Platform.X86;
+  }
+
+(* Regression: the grid used to hard-code the presets' 95/127-thread
+   points, so any platform with fewer CPUs crashed Topology.pick_cpus.
+   Clamped grids must stay within ncpus, keep the paper's ncpus-1
+   point, and be duplicate-free. *)
+let test_grid_clamped_to_platform () =
+  List.iter
+    (fun p ->
+      let n = Topology.ncpus p.Platform.topo in
+      let g = Scripted.thread_grid p in
+      check_bool (Printf.sprintf "nonempty (%d cpus)" n) true (g <> []);
+      List.iter
+        (fun t ->
+          check_bool (Printf.sprintf "%d <= %d cpus" t n) true (t <= n);
+          check_bool (Printf.sprintf "%d >= 1" t) true (t >= 1))
+        g;
+      check_bool "ncpus-1 present" true (List.mem (max 1 (n - 1)) g);
+      check_bool "sorted, no duplicates" true
+        (g = List.sort_uniq compare g))
+    [ small8; Platform.tiny; Platform.tiny_arm; Platform.x86; Platform.armv8 ];
+  (* preset grids keep the paper's exact contention points *)
+  check_bool "x86 preset grid" true
+    (Scripted.thread_grid Platform.x86 = [ 1; 4; 8; 16; 24; 32; 48; 64; 95 ]);
+  check_bool "armv8 preset grid" true
+    (Scripted.thread_grid Platform.armv8
+    = [ 1; 4; 8; 16; 24; 32; 48; 64; 96; 127 ])
+
+(* ISSUE acceptance: a full scripted sweep on a custom 8-CPU platform
+   must succeed (it used to raise from pick_cpus at 95 threads). *)
+let test_scripted_small_platform () =
+  let s =
+    Scripted.run
+      ~params:
+        {
+          Clof_workloads.Workload.duration = 40_000;
+          cs_reads = 1;
+          cs_writes = 1;
+          cs_work = 50;
+          noncs_work = 300;
+        }
+      ~platform:small8 ~depth:2 ()
+  in
+  check_bool "default grid used and clamped" true
+    (s.Scripted.threadcounts = Scripted.thread_grid small8);
+  check_int "16 compositions" 16 (List.length s.Scripted.series);
+  List.iter
+    (fun srs ->
+      check_int
+        (srs.Sel.lock ^ " has every grid point")
+        (List.length s.Scripted.threadcounts)
+        (List.length srs.Sel.points))
+    s.Scripted.series
+
+(* The (composition x threadcount) matrix is one parallel batch; the
+   series must not depend on the job count. *)
+let test_scripted_parallel_deterministic () =
+  let module Exec = Clof_exec.Exec in
+  let run () =
+    Scripted.run
+      ~params:
+        {
+          Clof_workloads.Workload.duration = 40_000;
+          cs_reads = 1;
+          cs_writes = 1;
+          cs_work = 50;
+          noncs_work = 300;
+        }
+      ~threadcounts:[ 2; 8 ] ~platform:Platform.tiny ~depth:2 ()
+  in
+  Exec.set_jobs 1;
+  let seq = run () in
+  Exec.set_jobs 3;
+  let par = run () in
+  Exec.set_jobs 1;
+  check_bool "series identical under -j 3" true
+    (seq.Scripted.series = par.Scripted.series);
+  check_bool "hmcs identical under -j 3" true
+    (seq.Scripted.hmcs = par.Scripted.hmcs)
 
 (* ---------- experiments plumbing ---------- *)
 
@@ -237,12 +350,20 @@ let () =
           Alcotest.test_case "tiny platform" `Quick test_heatmap_tiny;
           Alcotest.test_case "infer presets" `Slow test_infer_presets;
           Alcotest.test_case "paper table" `Quick test_paper_speedups_table;
+          Alcotest.test_case "stride aliasing backfill" `Quick
+            test_heatmap_stride_aliasing;
         ] );
       ( "scripted",
         [
           Alcotest.test_case "tiny sweep" `Slow test_scripted_tiny;
           Alcotest.test_case "spec_of_name" `Quick test_spec_of_name;
           Alcotest.test_case "grids" `Quick test_grids;
+          Alcotest.test_case "grid clamped to platform" `Quick
+            test_grid_clamped_to_platform;
+          Alcotest.test_case "small custom platform" `Slow
+            test_scripted_small_platform;
+          Alcotest.test_case "parallel deterministic" `Slow
+            test_scripted_parallel_deterministic;
         ] );
       ( "experiments",
         [

@@ -351,6 +351,8 @@ let test_report_roundtrip () =
     {
       Report.version = Report.schema_version;
       quick = true;
+      meta =
+        Some { Report.jobs = 4; wall_s = 1.5; busy_s = 4.5; speedup = 3.0 };
       experiments =
         [
           {
@@ -373,9 +375,16 @@ let test_report_roundtrip () =
     }
   in
   let s = Report.to_string t in
-  match Report.of_string s with
+  (match Report.of_string s with
   | Error e -> Alcotest.fail e
-  | Ok t' -> check_str "round-trip" s (Report.to_string t')
+  | Ok t' -> check_str "round-trip" s (Report.to_string t'));
+  (* reports predating the meta block (no "meta" member) still parse *)
+  let s_no_meta = Report.to_string { t with Report.meta = None } in
+  match Report.of_string s_no_meta with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      check_bool "absent meta parses to None" true (t'.Report.meta = None);
+      check_str "meta-less round-trip" s_no_meta (Report.to_string t')
 
 let test_report_rejects () =
   check_bool "schema version checked" true
