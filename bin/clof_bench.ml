@@ -84,6 +84,29 @@ let report quick jobs out ids =
                 m.Clof_harness.Report.speedup);
           `Ok ())
 
+let sim quick jobs out =
+  set_jobs jobs;
+  let samples = Clof_harness.Simbench.run ~quick () in
+  Clof_harness.Simbench.pp Format.std_formatter samples;
+  Format.pp_print_flush Format.std_formatter ();
+  let doc =
+    Clof_harness.Report.to_string
+      (Clof_harness.Simbench.to_report samples)
+  in
+  match
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+      (fun () ->
+        output_string oc doc;
+        close_out oc)
+  with
+  | exception Sys_error msg -> `Error (false, msg)
+  | () ->
+      Printf.printf "wrote %s (schema v%d)\n" out
+        Clof_harness.Report.schema_version;
+      `Ok ()
+
 let faults_gate quick jobs =
   set_jobs jobs;
   Clof_harness.Experiments.set_quick quick;
@@ -163,6 +186,23 @@ let report_cmd =
     (Cmd.info "report" ~doc)
     Term.(ret (const report $ quick $ jobs_arg $ out $ ids))
 
+let sim_cmd =
+  let doc =
+    "Benchmark the discrete-event engine itself (events/sec and minor \
+     words/event on the hot loops) and write the samples as a JSON \
+     report. Wall-clock dependent: the output is archived as a \
+     trajectory, never diffed or gated."
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_sim.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc)
+    Term.(ret (const sim $ quick $ jobs_arg $ out))
+
 let faults_cmd =
   let doc =
     "Run the fault-injection matrix and fail if any fair lock wedges \
@@ -180,6 +220,6 @@ let main =
   Cmd.group
     ~default:Term.(ret (const run_ids $ quick $ jobs_arg $ ids_arg))
     (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
-    [ run_cmd; list_cmd; report_cmd; faults_cmd ]
+    [ run_cmd; list_cmd; report_cmd; sim_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -745,6 +745,11 @@ let scripted_exp ppf () =
   Format.fprintf ppf "LC-best: %s@." (Scripted.lc_best s).Sel.lock;
   Format.fprintf ppf "worst:   %s@." (Scripted.worst s).Sel.lock
 
+(* Wall-clock engine speed, not simulated time: excluded from the
+   determinism diffs, tracked as a trajectory via BENCH_sim.json. *)
+let sim_throughput ppf () =
+  Simbench.pp ppf (Simbench.run ~quick:!quick ())
+
 let discover ppf () =
   Format.pp_print_string ppf
     (Render.section "Hierarchy discovery (Figure 5, first step)");
@@ -780,6 +785,7 @@ let ids =
     ("fastpath", "TAS fast-path extension ablation (paper 6)");
     ("faults", "stall/crash injection matrix with recovery classification");
     ("scripted", "2-level scripted sweep with HC/LC ranking (4.3)");
+    ("sim-throughput", "engine events/sec + allocs/event (wall clock)");
     ("discover", "automated hierarchy inference (Figure 5)");
   ]
 
@@ -806,6 +812,7 @@ let run ppf = function
   | "fastpath" -> fastpath ppf (); true
   | "faults" -> faults ppf (); true
   | "scripted" -> scripted_exp ppf (); true
+  | "sim-throughput" -> sim_throughput ppf (); true
   | "discover" -> discover ppf (); true
   | _ -> false
 

@@ -1,0 +1,28 @@
+(** sim-throughput: microbenchmark of the discrete-event engine itself.
+
+    Measures wall-clock simulated-events/sec and minor-heap words
+    allocated per event on the engine's two inner loops (ping-pong and
+    the contended scripted workload), and ships the samples through the
+    {!Report} schema as [BENCH_sim.json] so the trajectory can be
+    archived and printed by [bench_check]. Wall-clock dependent: never
+    part of a determinism diff or a regression gate. *)
+
+type sample = {
+  label : string;  (** ["pingpong"] or ["scripted"] *)
+  runs : int;  (** simulations executed inside the timed window *)
+  events : int;  (** engine events across all runs *)
+  wall_s : float;
+  events_per_us : float;  (** simulated events per wall-clock {e µs} *)
+  words_per_event : float;  (** minor words allocated per event *)
+}
+
+val run : ?quick:bool -> unit -> sample list
+(** Run both loops ([quick] shrinks the repetition count). Must not be
+    called from inside a simulation. *)
+
+val to_report : sample list -> Report.t
+(** One experiment [sim-throughput] with a series per sample
+    ([throughput] = events/µs) plus a ["<label>/alloc"] series
+    ([throughput] = minor words/event). *)
+
+val pp : Format.formatter -> sample list -> unit

@@ -57,14 +57,9 @@ let of_arch = function
         ctx_switch = 1200;
       }
 
-let transfer_table t =
-  List.map
-    (fun p -> (p, t.transfer p))
-    [
-      Level.Same_cpu;
-      Level.Same_core;
-      Level.Same_cache;
-      Level.Same_numa;
-      Level.Same_package;
-      Level.Same_system;
-    ]
+let transfer_table t = List.map (fun p -> (p, t.transfer p)) Level.all_prox
+
+let transfer_costs t =
+  let a = Array.make Level.nprox 0 in
+  List.iter (fun p -> a.(Level.prox_rank p) <- t.transfer p) Level.all_prox;
+  a

@@ -35,14 +35,51 @@ let popcount =
 let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 let count_except t cpu = count t - if mem t cpu then 1 else 0
 
+(* Index of the lowest set bit of a power of two, by binary search —
+   six shift-and-test steps instead of a per-bit loop. *)
+let ntz b =
+  let n = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xFFFF = 0 then begin
+    n := !n + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    n := !n + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    n := !n + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    n := !n + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr n;
+  !n
+
+(* Scan set bits word by word: empty words cost one load, and each
+   member costs an isolate-lowest-bit step — no per-cpu bounds check,
+   divide or modulo as in the old [mem]-per-cpu loop. *)
 let iter f t =
-  for cpu = 0 to t.ncpus - 1 do
-    if mem t cpu then f cpu
+  let nwords = Array.length t.words in
+  for i = 0 to nwords - 1 do
+    let w = ref (Array.unsafe_get t.words i) in
+    if !w <> 0 then begin
+      let base = i * bits_per_word in
+      while !w <> 0 do
+        let b = !w land (- !w) in
+        f (base + ntz b);
+        w := !w land (!w - 1)
+      done
+    end
   done
 
 let to_list t =
   let acc = ref [] in
-  for cpu = t.ncpus - 1 downto 0 do
-    if mem t cpu then acc := cpu :: !acc
-  done;
-  !acc
+  iter (fun cpu -> acc := cpu :: !acc) t;
+  List.rev !acc

@@ -19,6 +19,7 @@ type outcome = {
   transfers : (Level.proximity * int) list;
   injected : injected list;
   crashed : int list;
+  events : int;
 }
 
 type _ Effect.t +=
@@ -40,6 +41,11 @@ type thread = {
   mutable ops : int; (* atomic operations performed (fault anchors) *)
 }
 
+(* Watchers form an intrusive chain threaded through [Line.waiters]
+   (the [w_next] link lives in the record itself), most recently
+   registered first — the same order the old per-line list had. No
+   hash lookup per store, no list reallocation per wake, and no stale
+   empty table entries accumulating over the run. *)
 type watcher = {
   w_thread : thread;
   w_line : Line.t;
@@ -47,19 +53,24 @@ type watcher = {
   w_rmw : bool;
   mutable w_done : bool; (* resumed (wake or timeout); entry is stale *)
   w_continue : bool -> unit; (* true = pred holds, false = timed out *)
+  mutable w_next : Line.waiters;
 }
+
+type Line.waiters += Watcher of watcher
 
 type cpu_state = { mutable busy_until : int; mutable last : int }
 
 type state = {
   topo : Topology.t;
   costs : Arch.t;
+  tcost : int array; (* transfer cost by proximity rank *)
   duration : int;
   q : (unit -> unit) Pqueue.t;
   cpus : cpu_state array;
-  watchers : (int, watcher list ref) Hashtbl.t;
+  mutable watched : Line.t list; (* lines that ever had a watcher *)
   mutable live : int;
   mutable max_time : int;
+  mutable events : int; (* executed event-queue entries *)
   hist : int array; (* line transfers by proximity rank *)
   mutable pending_faults : fault list;
   mutable injected : injected list;
@@ -100,28 +111,15 @@ let advance_on_line st th (line : Line.t) ~miss cost =
     if th.time > st.max_time then st.max_time <- th.time
   end
 
-let all_proximities =
-  [
-    Level.Same_cpu;
-    Level.Same_core;
-    Level.Same_cache;
-    Level.Same_numa;
-    Level.Same_package;
-    Level.Same_system;
-  ]
+let rank_same_system = Level.prox_rank Level.Same_system
+let count_transfer st d = st.hist.(d) <- st.hist.(d) + 1
 
-let rank_of p =
-  let rec go i = function
-    | [] -> assert false
-    | x :: rest -> if x = p then i else go (i + 1) rest
-  in
-  go 0 all_proximities
-
-let count_transfer st p = st.hist.(rank_of p) <- st.hist.(rank_of p) + 1
-
-let proximity_to st line th =
-  if line.Line.owner < 0 then Level.Same_system
-  else Topology.proximity st.topo line.Line.owner th.t_cpu
+(* Proximity rank of the access: one byte load from the topology's
+   dense matrix (the old path walked [Level.all] with a nested rank
+   scan per level, on every miss). *)
+let prox_rank_to st (line : Line.t) th =
+  if line.Line.owner < 0 then rank_same_system
+  else Topology.proximity_rank st.topo line.Line.owner th.t_cpu
 
 (* Cost of fetching a line for reading; registers the reader as a
    sharer. *)
@@ -129,10 +127,10 @@ let read_cost st th (line : Line.t) =
   if line.owner = th.t_cpu || Cpuset.mem line.sharers th.t_cpu then
     (st.costs.l1, false)
   else begin
-    let d = proximity_to st line th in
+    let d = prox_rank_to st line th in
     count_transfer st d;
     Cpuset.add line.sharers th.t_cpu;
-    (st.costs.transfer d, true)
+    (Array.unsafe_get st.tcost d, true)
   end
 
 (* Invalidating remote shared copies costs a coherence round to the
@@ -144,7 +142,8 @@ let invalidate_cost st th (line : Line.t) =
     (fun cpu ->
       if cpu <> th.t_cpu then begin
         let t =
-          st.costs.transfer (Topology.proximity st.topo cpu th.t_cpu)
+          Array.unsafe_get st.tcost
+            (Topology.proximity_rank st.topo cpu th.t_cpu)
         in
         if t > !worst then worst := t
       end)
@@ -164,9 +163,9 @@ let write_cost st th (line : Line.t) ~is_rmw ~order =
   let transfer =
     if line.owner = me then 0
     else begin
-      let d = proximity_to st line th in
+      let d = prox_rank_to st line th in
       count_transfer st d;
-      st.costs.transfer d
+      Array.unsafe_get st.tcost d
     end
   in
   let upgrade =
@@ -240,32 +239,48 @@ let kill st th =
   st.live <- st.live - 1;
   st.crashed <- th.t_id :: st.crashed
 
-let find_watchers st (line : Line.t) =
-  match Hashtbl.find_opt st.watchers line.id with
-  | Some r -> r
-  | None ->
-      let r = ref [] in
-      Hashtbl.add st.watchers line.id r;
-      r
+(* Register a watcher at the head of the line's chain; the line joins
+   the state's watched list the first time (end-of-run blocked scan and
+   cleanup walk that list). *)
+let add_watcher st (line : Line.t) w =
+  if not line.enlisted then begin
+    line.enlisted <- true;
+    st.watched <- line :: st.watched
+  end;
+  w.w_next <- line.waiters;
+  line.waiters <- Watcher w
 
 (* After [writer] wrote to [line]: every watcher lost its copy and
    refetches the line, one at a time through the line's service window —
    k spinners cause k serialized refetches per write, the physics behind
    the collapse of global-spinning locks. Watchers whose predicate now
-   holds resume at their refetch slot. *)
+   holds resume at their refetch slot; those are unlinked in place
+   (stale timed-out entries too), kept watchers are untouched. *)
 let wake_watchers st (line : Line.t) writer =
-  match Hashtbl.find_opt st.watchers line.id with
-  | None -> ()
-  | Some lst ->
-      let keep w =
-        if w.w_done then false (* already timed out; drop the stale entry *)
+  let unlink prev next =
+    match prev with
+    | Line.No_waiters -> line.waiters <- next
+    | Watcher p -> p.w_next <- next
+    | _ -> assert false
+  in
+  let rec go prev cur =
+    match cur with
+    | Line.No_waiters -> ()
+    | Watcher w ->
+        let next = w.w_next in
+        if w.w_done then begin
+          (* already timed out; drop the stale entry *)
+          unlink prev next;
+          w.w_next <- Line.No_waiters;
+          go prev next
+        end
         else begin
           let d =
-            Topology.proximity st.topo writer.t_cpu w.w_thread.t_cpu
+            Topology.proximity_rank st.topo writer.t_cpu w.w_thread.t_cpu
           in
           count_transfer st d;
           let slot =
-            max writer.time line.busy_until + st.costs.transfer d
+            max writer.time line.busy_until + Array.unsafe_get st.tcost d
           in
           line.busy_until <- slot;
           if not w.w_rmw then Cpuset.add line.sharers w.w_thread.t_cpu;
@@ -276,15 +291,19 @@ let wake_watchers st (line : Line.t) writer =
             if w.w_thread.time > st.max_time then
               st.max_time <- w.w_thread.time;
             Pqueue.add st.q w.w_thread.time (fun () -> w.w_continue true);
-            false
+            unlink prev next;
+            w.w_next <- Line.No_waiters;
+            go prev next
           end
-          else true
+          else go cur next
         end
-      in
-      lst := List.filter keep !lst
+    | _ -> assert false
+  in
+  go Line.No_waiters line.waiters
 
 (* Deadline event for a timed watcher: if the wake did not beat the
-   clock, resume the thread with [false] at exactly [deadline]. *)
+   clock, resume the thread with [false] at exactly [deadline]. The
+   entry stays chained until the next wake drops it. *)
 let fire_timeout st w deadline =
   if not w.w_done then begin
     w.w_done <- true;
@@ -362,8 +381,7 @@ let spawn st th body =
                       else begin
                         if rmw then
                           line.rmw_watchers <- line.rmw_watchers + 1;
-                        let r = find_watchers st line in
-                        r :=
+                        add_watcher st line
                           {
                             w_thread = th;
                             w_line = line;
@@ -372,8 +390,8 @@ let spawn st th body =
                             w_done = false;
                             w_continue =
                               (fun _ -> Effect.Deep.continue k ());
+                            w_next = Line.No_waiters;
                           }
-                          :: !r
                       end)
           | E_await_until (line, rmw, pred, deadline) ->
               Some
@@ -402,10 +420,10 @@ let spawn st th body =
                             w_done = false;
                             w_continue =
                               (fun ok -> Effect.Deep.continue k ok);
+                            w_next = Line.No_waiters;
                           }
                         in
-                        let r = find_watchers st line in
-                        r := w :: !r;
+                        add_watcher st line w;
                         Pqueue.add st.q deadline (fun () ->
                             fire_timeout st w deadline)
                       end)
@@ -447,26 +465,40 @@ let run ?(duration = 1_000_000) ?(faults = []) ~platform ~threads () =
   if Domain.DLS.get instance <> None then
     invalid_arg "Engine.run: already inside a simulation";
   let topo = platform.Platform.topo in
+  let costs = Arch.of_arch platform.Platform.arch in
   let st =
     {
       topo;
-      costs = Arch.of_arch platform.Platform.arch;
+      costs;
+      tcost = Arch.transfer_costs costs;
       duration;
-      q = Pqueue.create ();
+      q = Pqueue.create ~dummy:ignore ();
       cpus =
         Array.init (Topology.ncpus topo) (fun _ ->
             { busy_until = 0; last = -1 });
-      watchers = Hashtbl.create 64;
+      watched = [];
       live = List.length threads;
       max_time = 0;
-      hist = Array.make (List.length all_proximities) 0;
+      events = 0;
+      hist = Array.make Level.nprox 0;
       pending_faults = faults;
       injected = [];
       crashed = [];
     }
   in
   Domain.DLS.set instance (Some st);
-  let cleanup () = Domain.DLS.set instance None in
+  let cleanup () =
+    (* watcher chains live on the lines themselves: detach them so a
+       line reused by a later simulation (or leaked by an exception)
+       cannot resurrect this run's continuations *)
+    List.iter
+      (fun (line : Line.t) ->
+        line.Line.waiters <- Line.No_waiters;
+        line.Line.enlisted <- false)
+      st.watched;
+    st.watched <- [];
+    Domain.DLS.set instance None
+  in
   Fun.protect ~finally:cleanup (fun () ->
       List.iteri
         (fun i (cpu, body) ->
@@ -482,25 +514,31 @@ let run ?(duration = 1_000_000) ?(faults = []) ~platform ~threads () =
       in
       let aborted = ref false in
       let rec drain () =
-        match Pqueue.pop_min st.q with
-        | Some (_, f) ->
-            if st.max_time > cap then aborted := true
-            else begin
-              f ();
-              drain ()
-            end
-        | None -> ()
+        if not (Pqueue.is_empty st.q) then begin
+          let f = Pqueue.pop_exn st.q in
+          if st.max_time > cap then aborted := true
+          else begin
+            st.events <- st.events + 1;
+            f ();
+            drain ()
+          end
+        end
       in
       drain ();
       let blocked =
-        Hashtbl.fold
-          (fun _ lst acc ->
-            List.fold_left
-              (fun acc w ->
-                if w.w_done then acc
-                else (w.w_thread.t_id, w.w_line.Line.name) :: acc)
-              acc !lst)
-          st.watchers []
+        List.fold_left
+          (fun acc (line : Line.t) ->
+            let rec go acc = function
+              | Line.No_waiters -> acc
+              | Watcher w ->
+                  go
+                    (if w.w_done then acc
+                     else (w.w_thread.t_id, w.w_line.Line.name) :: acc)
+                    w.w_next
+              | _ -> assert false
+            in
+            go acc line.Line.waiters)
+          [] st.watched
       in
       let crashed = List.sort_uniq compare st.crashed in
       {
@@ -512,9 +550,10 @@ let run ?(duration = 1_000_000) ?(faults = []) ~platform ~threads () =
         aborted = !aborted;
         blocked = List.sort compare blocked;
         transfers =
-          List.mapi (fun i p -> (p, st.hist.(i))) all_proximities;
+          List.mapi (fun i p -> (p, st.hist.(i))) Level.all_prox;
         injected = List.rev st.injected;
         crashed;
+        events = st.events;
       })
 
 let now () = Effect.perform E_now

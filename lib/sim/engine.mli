@@ -67,6 +67,10 @@ type outcome = {
           fault that actually fired (a fault whose thread never reaches
           [at_op] operations silently does not fire) *)
   crashed : int list;  (** tids killed by [Crash] faults *)
+  events : int;
+      (** discrete events executed by the scheduler (thread spawns,
+          access completions, wake-ups, timeouts) — the denominator of
+          the [sim-throughput] benchmark's events/sec *)
 }
 
 val run :

@@ -1,3 +1,6 @@
+type waiters = ..
+type waiters += No_waiters
+
 type t = {
   id : int;
   name : string;
@@ -7,12 +10,14 @@ type t = {
   mutable rmw_watchers : int;
   mutable writes : int;
   mutable busy_until : int;
+  mutable waiters : waiters;
+  mutable enlisted : bool;
 }
 
 (* Atomic: lines are allocated concurrently when simulations run on
-   several domains. Ids only need to be unique (they key the engine's
-   per-simulation watcher table); nothing observable depends on their
-   values, so cross-domain interleaving does not affect results. *)
+   several domains. Ids only need to be unique (they identify lines in
+   diagnostics); nothing observable depends on their values, so
+   cross-domain interleaving does not affect results. *)
 let counter = Atomic.make 0
 
 let fresh ?(node = -1) ~name ~ncpus () =
@@ -26,6 +31,8 @@ let fresh ?(node = -1) ~name ~ncpus () =
     rmw_watchers = 0;
     writes = 0;
     busy_until = 0;
+    waiters = No_waiters;
+    enlisted = false;
   }
 
 let reset_ids () = Atomic.set counter 0

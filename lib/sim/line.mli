@@ -5,6 +5,14 @@
     holding shared copies; access costs derive from these plus the
     machine's {!Arch.t}. *)
 
+type waiters = ..
+(** Intrusive chain of threads spin-waiting on this line. The engine
+    extends this with its watcher record (which carries the [next]
+    link), so registering and waking watchers needs no per-line hash
+    table and no list reallocation. *)
+
+type waiters += No_waiters  (** the empty chain *)
+
 type t = {
   id : int;
   name : string;
@@ -19,6 +27,12 @@ type t = {
           are serialized, which is what makes k threads spinning on one
           location collapse — each release triggers k refetches that
           queue behind each other *)
+  mutable waiters : waiters;
+      (** engine-owned watcher chain, most recently registered first;
+          always reset to [No_waiters] by the end of a simulation *)
+  mutable enlisted : bool;
+      (** engine bookkeeping: the line is on the running simulation's
+          watched-lines list; cleared with [waiters] at end of run *)
 }
 
 val fresh : ?node:int -> name:string -> ncpus:int -> unit -> t

@@ -47,6 +47,28 @@ let rank = function
 
 let compare a b = Int.compare (rank a) (rank b)
 
+let all_prox =
+  [ Same_cpu; Same_core; Same_cache; Same_numa; Same_package; Same_system ]
+
+let nprox = 6
+
+let prox_rank = function
+  | Same_cpu -> 0
+  | Same_core -> 1
+  | Same_cache -> 2
+  | Same_numa -> 3
+  | Same_package -> 4
+  | Same_system -> 5
+
+let prox_of_rank = function
+  | 0 -> Same_cpu
+  | 1 -> Same_core
+  | 2 -> Same_cache
+  | 3 -> Same_numa
+  | 4 -> Same_package
+  | 5 -> Same_system
+  | r -> invalid_arg (Printf.sprintf "Level.prox_of_rank: %d" r)
+
 let proximity_of_level = function
   | Core -> Same_core
   | Cache_group -> Same_cache

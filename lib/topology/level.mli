@@ -37,6 +37,28 @@ val of_string : string -> t option
 val compare : t -> t -> int
 (** Orders by containment: [compare Core System < 0]. *)
 
+val rank : t -> int
+(** Dense integer rank of a level, innermost first: position in {!all}
+    ([rank Core = 0] ... [rank System = 4]). The single source of rank
+    order for every module that indexes per-level arrays. *)
+
+val all_prox : proximity list
+(** All proximities, innermost first: [Same_cpu; ...; Same_system]. *)
+
+val nprox : int
+(** Number of proximity classes ([List.length all_prox]). *)
+
+val prox_rank : proximity -> int
+(** Dense integer rank of a proximity, [0] for [Same_cpu] up to
+    [nprox - 1] for [Same_system]. The canonical rank order shared by
+    the simulator's transfer histograms and cost tables: for a distinct
+    pair of CPUs whose innermost shared level is [lvl],
+    [prox_rank (proximity_of_level lvl) = rank lvl + 1]. *)
+
+val prox_of_rank : int -> proximity
+(** Inverse of {!prox_rank}.
+    @raise Invalid_argument outside [0, nprox). *)
+
 val proximity_of_level : t -> proximity
 (** The proximity of two distinct CPUs whose innermost shared level is
     the given one. *)

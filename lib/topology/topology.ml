@@ -4,18 +4,16 @@ type t = {
   cohort : int array array;
       (* cohort.(rank).(cpu) = dense cohort id; rank as in [Level.all] *)
   counts : int array; (* counts.(rank) = number of cohorts at that rank *)
+  prox : Bytes.t;
+      (* prox.[a*ncpus + b] = proximity rank of the pair, as in
+         [Level.prox_rank]; the simulator reads this on every miss *)
+  ht : int array; (* ht.(cpu) = position of cpu among its core's cpus *)
 }
 
 type hierarchy = Level.t list
 
 let nlevels = List.length Level.all
-
-let rank_of_level lvl =
-  let rec go i = function
-    | [] -> invalid_arg "Topology.rank_of_level"
-    | l :: rest -> if l = lvl then i else go (i + 1) rest
-  in
-  go 0 Level.all
+let rank_of_level = Level.rank
 
 (* Renumber arbitrary cohort labels into dense ids 0..n-1, preserving
    first-appearance order so that preset numbering stays intuitive. *)
@@ -75,7 +73,38 @@ let create ~name ~ncpus ~core_of ~cache_of ~numa_of ~pkg_of =
       counts.(r) <- n)
     raw;
   check_nesting name cohort counts;
-  { name; ncpus; cohort; counts }
+  (* Dense pairwise proximity ranks, one byte per pair: the innermost
+     shared level by walking levels once here instead of on every
+     simulated cache miss. [Level.prox_rank] of the innermost shared
+     level [lvl] is [Level.rank lvl + 1]; the diagonal is [Same_cpu]. *)
+  let prox = Bytes.create (ncpus * ncpus) in
+  for a = 0 to ncpus - 1 do
+    let row = a * ncpus in
+    for b = 0 to ncpus - 1 do
+      let rank =
+        if a = b then 0
+        else begin
+          let r = ref 0 in
+          while !r < nlevels && cohort.(!r).(a) <> cohort.(!r).(b) do
+            incr r
+          done;
+          !r + 1 (* the System row always matches, so !r < nlevels *)
+        end
+      in
+      Bytes.unsafe_set prox (row + b) (Char.unsafe_chr rank)
+    done
+  done;
+  (* Hyperthread rank: position of each cpu among the cpus of its core,
+     in increasing cpu order — one O(ncpus) pass over the dense core
+     ids instead of a per-cpu cohort scan. *)
+  let ht = Array.make ncpus 0 in
+  let seen = Array.make counts.(0) 0 in
+  for cpu = 0 to ncpus - 1 do
+    let core = cohort.(0).(cpu) in
+    ht.(cpu) <- seen.(core);
+    seen.(core) <- seen.(core) + 1
+  done;
+  { name; ncpus; cohort; counts; prox; ht }
 
 let name t = t.name
 let ncpus t = t.ncpus
@@ -98,31 +127,24 @@ let cpus_of_cohort t lvl id =
   done;
   !acc
 
-let proximity t a b =
+let proximity_rank t a b =
   check_cpu t a;
   check_cpu t b;
-  if a = b then Level.Same_cpu
-  else
-    let rec go = function
-      | [] -> Level.Same_system
-      | lvl :: rest ->
-          let r = rank_of_level lvl in
-          if t.cohort.(r).(a) = t.cohort.(r).(b) then
-            Level.proximity_of_level lvl
-          else go rest
-    in
-    go Level.all
+  Char.code (Bytes.unsafe_get t.prox ((a * t.ncpus) + b))
+
+let proximity t a b = Level.prox_of_rank (proximity_rank t a b)
 
 let shared_level t a b =
   if a = b then None
   else
-    let rec go = function
-      | [] -> Some Level.System
-      | lvl :: rest ->
-          let r = rank_of_level lvl in
-          if t.cohort.(r).(a) = t.cohort.(r).(b) then Some lvl else go rest
-    in
-    go Level.all
+    Some
+      (match proximity t a b with
+      | Level.Same_cpu -> assert false (* a <> b *)
+      | Level.Same_core -> Level.Core
+      | Level.Same_cache -> Level.Cache_group
+      | Level.Same_numa -> Level.Numa_node
+      | Level.Same_package -> Level.Package
+      | Level.Same_system -> Level.System)
 
 let cpus_per_cohort t lvl =
   let r = rank_of_level lvl in
@@ -156,28 +178,27 @@ let hierarchy_to_string hier =
 
 let ht_rank t cpu =
   (* position of [cpu] among the cpus of its physical core *)
-  let core = cohort_of t Level.Core cpu in
-  let rec go rank = function
-    | [] -> rank
-    | c :: rest -> if c = cpu then rank else go (rank + 1) rest
-  in
-  go 0 (cpus_of_cohort t Level.Core core)
+  check_cpu t cpu;
+  t.ht.(cpu)
 
 let pick_cpus t ~nthreads =
   if nthreads <= 0 || nthreads > t.ncpus then
     invalid_arg
       (Printf.sprintf "Topology.pick_cpus: nthreads %d not in [1,%d]"
          nthreads t.ncpus);
-  let key cpu =
-    ( ht_rank t cpu,
-      cohort_of t Level.Package cpu,
-      cohort_of t Level.Numa_node cpu,
-      cohort_of t Level.Cache_group cpu,
-      cohort_of t Level.Core cpu,
-      cpu )
+  (* keys are tabulated once — sorting recomputed them per comparison
+     before, and [ht_rank] itself was a cohort scan *)
+  let key =
+    Array.init t.ncpus (fun cpu ->
+        ( t.ht.(cpu),
+          cohort_of t Level.Package cpu,
+          cohort_of t Level.Numa_node cpu,
+          cohort_of t Level.Cache_group cpu,
+          cohort_of t Level.Core cpu,
+          cpu ))
   in
   let cpus = Array.init t.ncpus Fun.id in
-  Array.sort (fun a b -> compare (key a) (key b)) cpus;
+  Array.sort (fun a b -> compare key.(a) key.(b)) cpus;
   Array.sub cpus 0 nthreads
 
 let pp ppf t =

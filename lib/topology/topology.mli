@@ -34,6 +34,12 @@ val cpus_of_cohort : t -> Level.t -> int -> int list
 val proximity : t -> int -> int -> Level.proximity
 (** Innermost shared level of two CPUs. *)
 
+val proximity_rank : t -> int -> int -> int
+(** [proximity_rank t a b = Level.prox_rank (proximity t a b)], served
+    from a dense [ncpus x ncpus] byte matrix precomputed at {!create} —
+    the simulator's per-miss fast path (two bounds checks and one byte
+    load; no level walk). *)
+
 val shared_level : t -> int -> int -> Level.t option
 (** Innermost shared level of two {e distinct} CPUs; [None] when the
     CPUs are identical. *)
@@ -57,6 +63,11 @@ val validate_hierarchy : t -> hierarchy -> (unit, string) result
 
 val hierarchy_to_string : hierarchy -> string
 (** E.g. ["core-cache-numa-sys"]. *)
+
+val ht_rank : t -> int -> int
+(** Position of a CPU among the CPUs of its physical core, in
+    increasing CPU order (0 = first hyperthread). Precomputed at
+    {!create}. *)
 
 val pick_cpus : t -> nthreads:int -> int array
 (** Thread-pinning order used by all benchmarks: CPUs are taken so that

@@ -43,6 +43,7 @@ type result = {
   crashed : int list;
   transfers : (Clof_topology.Level.proximity * int) list;
   stats : Clof_stats.Stats.recorder;
+  events : int;
 }
 
 exception Lock_failure of string
@@ -159,6 +160,7 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
     crashed = o.E.crashed;
     transfers = o.E.transfers;
     stats = Clof_stats.Stats.merge_all (Array.to_list recorders);
+    events = o.E.events;
   }
 
 let run ?check ?faults ?deadline ~platform ~nthreads ~spec p =

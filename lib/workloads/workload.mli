@@ -54,6 +54,10 @@ type result = {
           for every lock), plus whatever the lock's own instrumentation
           reported — per-level local/remote handovers, keep_local
           decisions, H-threshold exhaustions, fast-path hits, spins *)
+  events : int;
+      (** discrete engine events executed during the run (see
+          {!Clof_sim.Engine.outcome}) — the denominator of the
+          sim-throughput benchmark *)
 }
 
 exception Lock_failure of string

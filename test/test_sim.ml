@@ -12,7 +12,7 @@ let check_bool = Alcotest.(check bool)
 (* ---------- pqueue ---------- *)
 
 let test_pqueue_basic () =
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:"" () in
   check_bool "empty" true (Pqueue.is_empty q);
   Pqueue.add q 3 "c";
   Pqueue.add q 1 "a";
@@ -27,7 +27,7 @@ let test_pqueue_basic () =
     "reinsert" (Some (0, "z")) (Pqueue.pop_min q)
 
 let test_pqueue_fifo_ties () =
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:"" () in
   List.iter (fun s -> Pqueue.add q 5 s) [ "first"; "second"; "third" ];
   Alcotest.(check (option (pair int string)))
     "fifo" (Some (5, "first")) (Pqueue.pop_min q);
@@ -38,7 +38,7 @@ let prop_pqueue_sorts =
   QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
     QCheck.(list small_int)
     (fun xs ->
-      let q = Pqueue.create () in
+      let q = Pqueue.create ~dummy:0 () in
       List.iter (fun x -> Pqueue.add q x x) xs;
       let rec drain acc =
         match Pqueue.pop_min q with
@@ -46,6 +46,54 @@ let prop_pqueue_sorts =
         | Some (p, _) -> drain (p :: acc)
       in
       drain [] = List.sort compare xs)
+
+let prop_pqueue_fifo_model =
+  (* tiny priority range forces many ties: the heap must still agree
+     with a stable sort, i.e. equal priorities drain in insertion
+     order (payload = insertion index) *)
+  QCheck.Test.make ~name:"pqueue matches a stable-sorted list model"
+    ~count:500
+    QCheck.(list (int_bound 7))
+    (fun prios ->
+      let q = Pqueue.create ~dummy:(-1) () in
+      List.iteri (fun i p -> Pqueue.add q p i) prios;
+      let model =
+        List.stable_sort
+          (fun (p1, _) (p2, _) -> compare p1 p2)
+          (List.mapi (fun i p -> (p, i)) prios)
+      in
+      let rec drain acc =
+        match Pqueue.pop_min q with
+        | None -> List.rev acc
+        | Some pv -> drain (pv :: acc)
+      in
+      drain [] = model)
+
+let test_pqueue_zero_alloc () =
+  let q = Pqueue.create ~dummy:0 () in
+  (* grow the backing arrays to steady-state capacity outside the
+     measured window, then assert the add/pop churn itself stays off
+     the minor heap (a few words of slack for Gc.minor_words's boxed
+     float results) *)
+  for i = 0 to 1023 do
+    Pqueue.add q i i
+  done;
+  while not (Pqueue.is_empty q) do
+    ignore (Pqueue.pop_exn q)
+  done;
+  let w0 = Gc.minor_words () in
+  for round = 0 to 99 do
+    for i = 0 to 999 do
+      Pqueue.add q (((i * 7919) + round) land 0xffff) i
+    done;
+    while not (Pqueue.is_empty q) do
+      ignore (Pqueue.pop_exn q)
+    done
+  done;
+  let words = Gc.minor_words () -. w0 in
+  check_bool
+    (Printf.sprintf "%.0f minor words for 100k events" words)
+    true (words < 256.0)
 
 (* ---------- cpuset ---------- *)
 
@@ -84,6 +132,42 @@ let prop_cpuset_model =
         ops;
       Cpuset.count s = Hashtbl.length model
       && Hashtbl.fold (fun c () acc -> acc && Cpuset.mem s c) model true)
+
+let test_cpuset_word_boundaries () =
+  (* bits_per_word is 62: exercise sets whose size sits exactly on,
+     just past, and twice past the word boundary *)
+  List.iter
+    (fun n ->
+      let s = Cpuset.create n in
+      for c = 0 to n - 1 do
+        Cpuset.add s c
+      done;
+      check_int (Printf.sprintf "full count %d" n) n (Cpuset.count s);
+      Alcotest.(check (list int))
+        (Printf.sprintf "full iter %d" n)
+        (List.init n Fun.id) (Cpuset.to_list s);
+      Cpuset.clear s;
+      let edges =
+        List.filter (fun c -> c < n) [ 0; 60; 61; 62; 63; 122; 123; 124 ]
+      in
+      List.iter (Cpuset.add s) edges;
+      Alcotest.(check (list int))
+        (Printf.sprintf "boundary iter %d" n)
+        edges (Cpuset.to_list s))
+    [ 1; 62; 63; 124; 125 ]
+
+let prop_cpuset_iter_matches_naive =
+  QCheck.Test.make ~name:"word-level iter/count match a per-bit scan"
+    ~count:300
+    QCheck.(pair (int_range 1 200) (list (int_bound 255)))
+    (fun (n, cs) ->
+      let s = Cpuset.create n in
+      List.iter (fun c -> Cpuset.add s (c mod n)) cs;
+      let naive = ref [] in
+      for c = n - 1 downto 0 do
+        if Cpuset.mem s c then naive := c :: !naive
+      done;
+      Cpuset.to_list s = !naive && Cpuset.count s = List.length !naive)
 
 (* ---------- engine ---------- *)
 
@@ -152,6 +236,57 @@ let test_engine_wakeup () =
   in
   check_bool "not hung" true (not o.E.hung);
   check_bool "woken after the store" true (!woke > 5000)
+
+let no_waiters l =
+  match l.Clof_sim.Line.waiters with
+  | Clof_sim.Line.No_waiters -> true
+  | _ -> false
+
+let test_watcher_state_cleared () =
+  (* transient waiters leave no trace: after the run the line holds no
+     watcher chain and is not enlisted, even across many runs reusing
+     the same simulated line (the old hashtable kept an empty ref per
+     watched line for the life of the run) *)
+  let p = Platform.tiny in
+  let r = M.make ~name:"flag" false in
+  for _ = 1 to 5 do
+    M.poke r false;
+    let o =
+      run_counting ~duration:max_int p
+        [
+          (0, fun _ -> ignore (M.await r (fun b -> b)));
+          ( 8,
+            fun _ ->
+              E.work 2000;
+              M.store r true );
+        ]
+    in
+    check_bool "not hung" true (not o.E.hung);
+    check_bool "events counted" true (o.E.events > 0);
+    let l = M.line r in
+    check_bool "no watcher chain after the run" true (no_waiters l);
+    check_bool "not enlisted after the run" true
+      (not l.Clof_sim.Line.enlisted)
+  done
+
+let test_watcher_state_cleared_on_deadlock () =
+  (* even a hung run — watchers still queued when the engine gives up —
+     must clear its watcher state so the line can be reused *)
+  let p = Platform.tiny in
+  let r = M.make ~name:"never" false in
+  for _ = 1 to 3 do
+    let o =
+      run_counting ~duration:max_int p
+        [ (0, fun _ -> ignore (M.await r (fun b -> b))) ]
+    in
+    check_bool "hung" true o.E.hung;
+    Alcotest.(check (list (pair int string)))
+      "blocked still reported" [ (0, "never") ] o.E.blocked;
+    let l = M.line r in
+    check_bool "chain cleared after hang" true (no_waiters l);
+    check_bool "not enlisted after hang" true
+      (not l.Clof_sim.Line.enlisted)
+  done
 
 let test_engine_watchdog () =
   (* a livelock: endless pause loop never checks running() *)
@@ -476,12 +611,17 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_pqueue_basic;
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "zero alloc" `Quick test_pqueue_zero_alloc;
           qcheck prop_pqueue_sorts;
+          qcheck prop_pqueue_fifo_model;
         ] );
       ( "cpuset",
         [
           Alcotest.test_case "basic" `Quick test_cpuset_basic;
+          Alcotest.test_case "word boundaries" `Quick
+            test_cpuset_word_boundaries;
           qcheck prop_cpuset_model;
+          qcheck prop_cpuset_iter_matches_naive;
         ] );
       ( "engine",
         [
@@ -492,6 +632,10 @@ let () =
           Alcotest.test_case "deadlock detection" `Quick
             test_engine_deadlock_detection;
           Alcotest.test_case "wakeup" `Quick test_engine_wakeup;
+          Alcotest.test_case "watcher state cleared" `Quick
+            test_watcher_state_cleared;
+          Alcotest.test_case "watcher state cleared on deadlock" `Quick
+            test_watcher_state_cleared_on_deadlock;
           Alcotest.test_case "watchdog" `Quick test_engine_watchdog;
           Alcotest.test_case "running duration" `Quick
             test_engine_running_duration;

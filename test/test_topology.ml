@@ -225,6 +225,83 @@ let prop_pick_cpus_distinct =
       done;
       Array.length cpus = n && !distinct)
 
+(* Random topologies built from per-level group sizes, so nesting holds
+   by construction; exercises shapes (odd sizes, degenerate levels) the
+   presets never hit. *)
+let arb_topo =
+  let nested =
+    QCheck.Gen.(
+      map
+        (fun (ht, (cores, (caches, (numas, pkgs)))) ->
+          let ht = 1 + ht
+          and cores = 1 + cores
+          and caches = 1 + caches
+          and numas = 1 + numas
+          and pkgs = 1 + pkgs in
+          let ncpus = ht * cores * caches * numas * pkgs in
+          Topology.create
+            ~name:
+              (Printf.sprintf "rand-%dx%dx%dx%dx%d" pkgs numas caches
+                 cores ht)
+            ~ncpus
+            ~core_of:(fun c -> c / ht)
+            ~cache_of:(fun c -> c / (ht * cores))
+            ~numa_of:(fun c -> c / (ht * cores * caches))
+            ~pkg_of:(fun c -> c / (ht * cores * caches * numas)))
+        (pair (int_bound 1)
+           (pair (int_bound 2)
+              (pair (int_bound 2) (pair (int_bound 1) (int_bound 1))))))
+  in
+  let preset =
+    QCheck.Gen.oneofl
+      (List.map
+         (fun p -> p.Platform.topo)
+         [ Platform.x86; Platform.armv8; Platform.tiny; Platform.tiny_arm ])
+  in
+  QCheck.make ~print:Topology.name
+    QCheck.Gen.(oneof [ nested; preset ])
+
+(* the pre-optimization implementation: walk the levels inner to outer
+   and report the first one whose cohorts agree *)
+let reference_prox t a b =
+  if a = b then Level.Same_cpu
+  else
+    let rec walk = function
+      | [] -> assert false
+      | lvl :: rest ->
+          if Topology.cohort_of t lvl a = Topology.cohort_of t lvl b then
+            Level.proximity_of_level lvl
+          else walk rest
+    in
+    walk Level.all
+
+let prop_matrix_matches_walk =
+  QCheck.Test.make ~name:"proximity matrix matches cohort walk"
+    ~count:200
+    QCheck.(pair arb_topo (pair small_nat small_nat))
+    (fun (t, (a, b)) ->
+      let a = a mod Topology.ncpus t and b = b mod Topology.ncpus t in
+      let want = reference_prox t a b in
+      let r = Topology.proximity_rank t a b in
+      Topology.proximity t a b = want
+      && r = Level.prox_rank want
+      && Level.prox_of_rank r = want)
+
+let prop_ht_rank_is_core_position =
+  QCheck.Test.make ~name:"ht_rank is position within the core" ~count:200
+    QCheck.(pair arb_topo small_nat)
+    (fun (t, c) ->
+      let c = c mod Topology.ncpus t in
+      let mates =
+        Topology.cpus_of_cohort t Level.Core
+          (Topology.cohort_of t Level.Core c)
+      in
+      let rec index i = function
+        | [] -> -1
+        | x :: tl -> if x = c then i else index (i + 1) tl
+      in
+      Topology.ht_rank t c = index 0 mates)
+
 let prop_shared_level_consistent =
   QCheck.Test.make ~name:"shared_level agrees with proximity" ~count:200
     QCheck.(pair arb_preset (pair small_nat small_nat))
@@ -276,6 +353,8 @@ let () =
       ( "properties",
         [
           qcheck prop_proximity_symmetric;
+          qcheck prop_matrix_matches_walk;
+          qcheck prop_ht_rank_is_core_position;
           qcheck prop_cohorts_partition;
           qcheck prop_pick_cpus_distinct;
           qcheck prop_shared_level_consistent;
