@@ -49,7 +49,8 @@ let checker_test =
   Test.make ~name:"verify/one tkt execution"
     (Staged.stage (fun () ->
          let config =
-           { Clof_verify.Checker.default with max_executions = 1 }
+           Clof_verify.Checker.Config.with_budget ~executions:1
+             Clof_verify.Checker.default
          in
          ignore
            (Clof_verify.Checker.check ~config ~name:"micro" (fun () ->

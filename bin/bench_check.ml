@@ -41,6 +41,59 @@ let pp_meta label (r : Report.t) =
         "bench_check: %s harness: %d job(s), %.2fs wall, %.2fx speedup\n"
         label m.Report.jobs m.Report.wall_s m.Report.speedup
 
+(* Exploration statistics from a verify report (clof_bench verify),
+   decoded from the slot encoding documented in Verifybench. Printed
+   for trend-watching only: the counters are workload- and wall-clock-
+   dependent, and the verdicts are already gated by clof_bench verify
+   itself, so none of this joins the regression gate. *)
+let has_verify (r : Report.t) =
+  List.exists
+    (fun (e : Report.experiment) -> e.Report.exp_id = "verify")
+    r.experiments
+
+let pp_verify label (r : Report.t) =
+  List.iter
+    (fun (e : Report.experiment) ->
+      if e.Report.exp_id = "verify" then begin
+        Printf.printf "bench_check: %s verify statistics (%s):\n" label
+          e.Report.workload;
+        List.iter
+          (fun (s : Report.series) ->
+            let slot n =
+              List.find_opt
+                (fun (p : Report.point) -> p.Report.threads = n)
+                s.Report.points
+            in
+            let ops n =
+              match slot n with
+              | Some p -> p.Report.total_ops
+              | None -> 0
+            in
+            match slot 1 with
+            | None -> ()
+            | Some p ->
+                Printf.printf
+                  "  %-40s %7d execs %9d steps %-10s [%d pruned, %d \
+                   sleep, %d races, %d complete]\n"
+                  s.Report.lock p.Report.total_ops p.Report.sim_ns
+                  (if p.Report.jain >= 1.0 then "ok" else "UNEXPECTED")
+                  (ops 2) (ops 3) (ops 4) (ops 5))
+          e.Report.series
+      end)
+    r.experiments
+
+(* verify series carry checker counters in the point slots, not
+   benchmark numbers; comparing them across runs would gate on
+   wall-clock. Strip them before the join. *)
+let gateable (r : Report.t) =
+  {
+    r with
+    Report.experiments =
+      List.filter
+        (fun (e : Report.experiment) -> e.Report.exp_id <> "verify")
+        r.experiments;
+  }
+
 let check baseline current max_drop max_jain_drop min_jain require_all =
   match (load baseline, load current) with
   | Error msg, _ | _, Error msg ->
@@ -49,6 +102,9 @@ let check baseline current max_drop max_jain_drop min_jain require_all =
   | Ok base, Ok cur ->
       pp_meta "baseline" base;
       pp_meta "current" cur;
+      if has_verify cur then pp_verify "current" cur
+      else if has_verify base then pp_verify "baseline" base;
+      let base = gateable base and cur = gateable cur in
       let cur_points = flatten cur in
       let find key =
         List.find_opt (fun k -> k.key = key) cur_points
@@ -91,12 +147,19 @@ let check baseline current max_drop max_jain_drop min_jain require_all =
                 violate "%s: fairness %.4f below floor %.4f" (pp_key key)
                   c.Report.jain min_jain)
         (flatten base);
-      if !compared = 0 then begin
-        prerr_endline
-          "bench_check: no comparable points (different experiments, \
-           locks or thread grids?)";
-        exit 1
-      end;
+      if !compared = 0 then
+        if flatten base = [] && flatten cur = [] then begin
+          (* verify-only reports: statistics printed above, nothing
+             left to gate *)
+          print_endline "bench_check: OK — no gateable points";
+          exit 0
+        end
+        else begin
+          prerr_endline
+            "bench_check: no comparable points (different experiments, \
+             locks or thread grids?)";
+          exit 1
+        end;
       if require_all && !missing > 0 then begin
         Printf.eprintf
           "bench_check: %d baseline point(s) unmatched in current \

@@ -107,6 +107,45 @@ let sim quick jobs out =
         Clof_harness.Report.schema_version;
       `Ok ()
 
+let verify quick jobs naive out =
+  set_jobs jobs;
+  let strategy =
+    if naive then Some Clof_verify.Checker.Naive else None
+  in
+  let outcomes = Clof_harness.Verifybench.run ~quick ?strategy () in
+  Clof_harness.Verifybench.pp Format.std_formatter outcomes;
+  Format.pp_print_flush Format.std_formatter ();
+  let doc =
+    Clof_harness.Report.to_string
+      (Clof_harness.Verifybench.to_report ~quick outcomes)
+  in
+  match
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+      (fun () ->
+        output_string oc doc;
+        close_out oc)
+  with
+  | exception Sys_error msg -> `Error (false, msg)
+  | () -> (
+      Printf.printf "wrote %s (schema v%d)\n" out
+        Clof_harness.Report.schema_version;
+      (* gate on verdicts only: statistics are trajectory data *)
+      match Clof_harness.Verifybench.gate outcomes with
+      | [] -> `Ok ()
+      | bad ->
+          `Error
+            ( false,
+              Printf.sprintf "verify gate: %s"
+                (String.concat "; "
+                   (List.map
+                      (fun o ->
+                        o.Clof_verify.Scenarios.o_entry
+                          .Clof_verify.Scenarios.e_named
+                          .Clof_verify.Scenarios.sname)
+                      bad)) ))
+
 let faults_gate quick jobs =
   set_jobs jobs;
   Clof_harness.Experiments.set_quick quick;
@@ -203,6 +242,32 @@ let sim_cmd =
     (Cmd.info "sim" ~doc)
     Term.(ret (const sim $ quick $ jobs_arg $ out))
 
+let verify_cmd =
+  let doc =
+    "Model-check the whole verification suite (base steps, abortable \
+     steps, induction steps and the A4 exhibits under SC and TSO) and \
+     write the exploration statistics as a JSON report. Fails when any \
+     scenario's verdict does not match its expectation (the CI \
+     verification gate); the statistics themselves never gate."
+  in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Explore with the exhaustive DFS oracle instead of DPOR \
+             (slow; for differential runs).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_verify.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(ret (const verify $ quick $ jobs_arg $ naive $ out))
+
 let faults_cmd =
   let doc =
     "Run the fault-injection matrix and fail if any fair lock wedges \
@@ -220,6 +285,6 @@ let main =
   Cmd.group
     ~default:Term.(ret (const run_ids $ quick $ jobs_arg $ ids_arg))
     (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
-    [ run_cmd; list_cmd; report_cmd; sim_cmd; faults_cmd ]
+    [ run_cmd; list_cmd; report_cmd; sim_cmd; verify_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

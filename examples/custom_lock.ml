@@ -93,7 +93,8 @@ let verify () =
   let report =
     Clof_verify.Checker.check
       ~config:
-        { (Clof_verify.Checker.sc ()) with max_executions = 10_000 }
+        (Clof_verify.Checker.Config.with_budget ~executions:10_000
+           (Clof_verify.Checker.sc ()))
       ~name:"anderson 3T" scenario
   in
   Format.printf "%a@." Clof_verify.Checker.pp_report report;

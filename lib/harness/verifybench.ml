@@ -1,0 +1,103 @@
+(* The verify experiment as a first-class benchmark: run the whole
+   Scenarios.suite through the parallel executor and ship the
+   exploration statistics through the Report schema as
+   BENCH_verify.json.
+
+   Each scenario becomes one series named "<group>/<scenario>". The
+   Report point shape was built for lock sweeps, so the checker's
+   counters ride in fixed [threads] slots (decoded by bench_check):
+
+     slot 1: total_ops = executions, sim_ns = steps,
+             throughput = executions per wall second,
+             jain = 1.0 when the outcome matched expectation else 0.0
+     slot 2: total_ops = pruned executions
+     slot 3: total_ops = sleep-set hits
+     slot 4: total_ops = race-driven backtrack points
+     slot 5: total_ops = complete (quiescent) executions
+
+   The verdict gate is separate from the report: CI fails on any
+   outcome whose verdict does not match the scenario's expectation
+   (a clean pass for ordinary scenarios, a found violation for the
+   seeded exhibits), never on the statistics. *)
+
+module S = Clof_verify.Scenarios
+module C = Clof_verify.Checker
+
+type outcome = S.outcome
+
+let run ?(quick = false) ?strategy () =
+  S.run_suite ~map:Clof_exec.Exec.map (S.suite ~quick ?strategy ())
+
+let gate outcomes = List.filter (fun o -> not o.S.o_ok) outcomes
+
+let strategy_name = function C.Naive -> "naive" | C.Dpor -> "dpor"
+
+let to_report ?(quick = false) outcomes =
+  let series =
+    List.map
+      (fun o ->
+        let r = o.S.o_report in
+        let point ~slot ~ops ~ns ~tp ~jain =
+          {
+            Report.threads = slot;
+            throughput = tp;
+            total_ops = ops;
+            sim_ns = ns;
+            jain;
+            stats = Clof_stats.Stats.create ();
+          }
+        in
+        let per_s =
+          float_of_int r.C.executions /. Float.max r.C.seconds 1e-9
+        in
+        {
+          (* scenario names are unique and already carry their group
+             ("base/tkt ...", "induction/clof<2> ..."); exhibits are
+             the only group with bare names *)
+          Report.lock =
+            (let name = o.S.o_entry.S.e_named.S.sname in
+             if String.contains name '/' then name
+             else S.group_tag o.S.o_entry.S.e_group ^ "/" ^ name);
+          points =
+            [
+              point ~slot:1 ~ops:r.C.executions ~ns:r.C.steps ~tp:per_s
+                ~jain:(if o.S.o_ok then 1.0 else 0.0);
+              point ~slot:2 ~ops:r.C.pruned ~ns:0 ~tp:0.0 ~jain:1.0;
+              point ~slot:3 ~ops:r.C.sleep_hits ~ns:0 ~tp:0.0 ~jain:1.0;
+              point ~slot:4 ~ops:r.C.races ~ns:0 ~tp:0.0 ~jain:1.0;
+              point ~slot:5 ~ops:r.C.complete ~ns:0 ~tp:0.0 ~jain:1.0;
+            ];
+        })
+      outcomes
+  in
+  let workload =
+    match outcomes with
+    | o :: _ -> "checker/" ^ strategy_name o.S.o_report.C.strategy
+    | [] -> "checker"
+  in
+  {
+    Report.version = Report.schema_version;
+    quick;
+    meta = None;
+    experiments =
+      [ { Report.exp_id = "verify"; platform = "model"; workload; series } ];
+  }
+
+let pp ppf outcomes =
+  Format.pp_print_string ppf
+    (Render.section
+       "verify: model-checked base/abort/induction steps + A4 exhibits");
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "%-10s %s  -> %s@."
+        (S.group_tag o.S.o_entry.S.e_group)
+        (Format.asprintf "%a" C.pp_report o.S.o_report)
+        (if o.S.o_ok then "as expected" else "UNEXPECTED"))
+    outcomes;
+  let bad = gate outcomes in
+  if bad = [] then
+    Format.fprintf ppf "verify gate: all %d scenarios as expected@."
+      (List.length outcomes)
+  else
+    Format.fprintf ppf "verify gate: %d UNEXPECTED outcome(s)@."
+      (List.length bad)

@@ -1,0 +1,34 @@
+(** The verification suite as a first-class experiment: every scenario
+    of {!Clof_verify.Scenarios.suite} checked through the parallel
+    executor, with the checker's exploration statistics shipped through
+    the {!Report} schema as [BENCH_verify.json].
+
+    Encoding: one series per scenario, named by the scenario (group-
+    prefixed when the name is not already),
+    whose points carry checker counters in fixed [threads] slots —
+    slot 1 holds [(executions, steps, executions/s)] in
+    [(total_ops, sim_ns, throughput)] with [jain] = 1.0 iff the
+    verdict matched the scenario's expectation; slots 2..5 hold
+    pruned / sleep-set hits / races / complete executions in
+    [total_ops]. [bench_check] decodes and prints these; they are
+    trajectory data and never gate. *)
+
+type outcome = Clof_verify.Scenarios.outcome
+
+val run :
+  ?quick:bool -> ?strategy:Clof_verify.Checker.strategy -> unit -> outcome list
+(** Check the whole suite on the default executor ([Exec.map]; [-j]
+    controls parallelism). [quick] drops the depth-3 induction step;
+    [strategy] forces one exploration strategy on every entry (default
+    DPOR). *)
+
+val gate : outcome list -> outcome list
+(** Outcomes whose verdict did not match the scenario's expectation:
+    a violation in a scenario that must pass, or a seeded exhibit that
+    went unnoticed. Non-empty fails [clof_bench verify] (the CI
+    job). *)
+
+val to_report : ?quick:bool -> outcome list -> Report.t
+(** One [verify] experiment, series encoded as documented above. *)
+
+val pp : Format.formatter -> outcome list -> unit

@@ -1,27 +1,71 @@
+(* Systematic scheduler for scenarios written against Vmem. Two
+   exploration strategies share one execution engine (run_once):
+
+   - Naive: the original bounded DFS — branch on every affordable
+     choice at every point. Kept as a differential-testing oracle.
+   - Dpor: dynamic partial-order reduction (Flanagan & Godefroid,
+     POPL 2005) with sleep sets. One representative per
+     Mazurkiewicz-trace equivalence class, plus the schedules forced by
+     detected races; store-buffer flushes are modeled as actions of a
+     per-thread "buffer proc" so TSO reorderings are first-class.
+
+   The preemption/delay bounds apply identically under both strategies:
+   the enabled sets DPOR reasons about are the *affordable* sets, so
+   bounded DPOR prunes relative to the bounded naive search (and, like
+   all bounded search, is exhaustive only when the bounds are off). *)
+
+type strategy = Naive | Dpor
+
 type config = {
   mode : Vstate.mode;
   preemption_bound : int;
   delay_bound : int;
   max_executions : int;
   max_steps : int;
+  strategy : strategy;
 }
 
-let default =
-  {
-    mode = Vstate.Sc;
-    preemption_bound = 2;
-    delay_bound = 2;
-    max_executions = 100_000;
-    max_steps = 5_000;
-  }
+module Config = struct
+  type t = config
+
+  let make ?(mode = Vstate.Sc) () =
+    {
+      mode;
+      preemption_bound = 2;
+      delay_bound = 2;
+      max_executions = 100_000;
+      max_steps = 5_000;
+      strategy = Dpor;
+    }
+
+  let with_mode mode t = { t with mode }
+  let with_preemptions n t = { t with preemption_bound = n }
+  let with_delays n t = { t with delay_bound = n }
+  let with_strategy strategy t = { t with strategy }
+
+  let with_budget ?executions ?steps t =
+    {
+      t with
+      max_executions = Option.value executions ~default:t.max_executions;
+      max_steps = Option.value steps ~default:t.max_steps;
+    }
+
+  let mode t = t.mode
+  let preemptions t = t.preemption_bound
+  let delays t = t.delay_bound
+  let strategy t = t.strategy
+  let max_executions t = t.max_executions
+  let max_steps t = t.max_steps
+end
+
+let default = Config.make ()
 
 let sc ?(preemptions = 2) () =
-  { default with mode = Vstate.Sc; preemption_bound = preemptions }
+  { (Config.make ~mode:Vstate.Sc ()) with preemption_bound = preemptions }
 
 let tso ?(preemptions = 2) ?(delays = 2) () =
   {
-    default with
-    mode = Vstate.Tso;
+    (Config.make ~mode:Vstate.Tso ()) with
     preemption_bound = preemptions;
     delay_bound = delays;
   }
@@ -34,8 +78,15 @@ type violation =
 
 type report = {
   name : string;
+  strategy : strategy;
   executions : int;
   steps : int;
+  complete : int;
+      (* executions that ran to quiescence: distinct full traces *)
+  pruned : int;
+      (* executions cut short: sleep-blocked, or the fairness pruner *)
+  sleep_hits : int; (* scheduling choices skipped because they slept *)
+  races : int; (* backtrack points scheduled from detected races *)
   violation : (violation * string list) option;
   truncated : bool;
   seconds : float;
@@ -53,13 +104,63 @@ let cs_exit () =
   let run = Vstate.the_run () in
   run.in_cs <- run.in_cs - 1
 
-(* Result of one execution: the choices actually taken, the decision
-   points at which untried alternatives remain, and the outcome. *)
+(* ------------------------------------------------------------------ *)
+(* Dependence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let inter a b = List.exists (fun x -> List.mem x b) a
+
+(* Two accesses conflict iff executing them in either order can differ:
+   write/write or read/write on a shared object, or a pause against any
+   committing write (pause enabledness watches the global write
+   counter, so every write is treated as potentially waking it — a
+   sound overapproximation that costs exploration, never misses
+   schedules). Buffer inserts are invisible to other threads and never
+   conflict; their ordering constraint is carried by the insert→flush
+   happens-before edge instead. *)
+let conflicts (a : Vstate.access) (b : Vstate.access) =
+  inter a.Vstate.writes b.Vstate.writes
+  || inter a.Vstate.writes b.Vstate.reads
+  || inter a.Vstate.reads b.Vstate.writes
+  || (a.Vstate.wakes && b.Vstate.writes <> [])
+  || (b.Vstate.wakes && a.Vstate.writes <> [])
+  (* two pauses don't commute either: resuming one spinner flips the
+     only-party-left enabledness of the other, and deadlock detection
+     (all_spun) needs the schedules where starved spinners get their
+     turn inside the no-write window *)
+  || (a.Vstate.wakes && b.Vstate.wakes)
+
+(* ------------------------------------------------------------------ *)
+(* One execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* What run_once records at each trace position for the DPOR analysis:
+   the transition executed, what it accessed, the affordable
+   alternatives (with their pending accesses), and the sleep set in
+   force when the position's state was entered. *)
+type pos_info = {
+  pi_choice : choice;
+  pi_access : Vstate.access;
+  pi_enabled : (choice * Vstate.access) list;
+  pi_sleep : (choice * Vstate.access) list;
+  pi_wrote : bool;
+      (* the step actually committed a write (a failed CAS declares
+         writes but commits nothing — pauses it precedes stay live) *)
+}
+
 type exec_result = {
   taken : choice array;
-  branch : (int * choice list) list;
+  branch : (int * choice list) list; (* naive: untried alternatives *)
+  infos : pos_info array; (* dpor: per-position record *)
+  nthreads : int;
+  end_pending : (choice * Vstate.access) list;
+      (* transitions still pending when the run was cut by the bounds:
+         they never executed, but may still race with executed events *)
   bad : (violation * string list) option;
   nsteps : int;
+  sleep_hits : int;
+  complete : bool; (* ran to quiescence *)
+  cut : bool; (* sleep-blocked or fairness-pruned: proves nothing *)
 }
 
 exception Abort_run of violation
@@ -81,17 +182,20 @@ let pause_enabled (run : Vstate.run) (th : Vstate.thread) snap () =
         if not (Queue.is_empty o.Vstate.buffer) then others_can_act := true;
         match o.Vstate.status with
         | Vstate.Finished -> ()
-        | Vstate.Waiting ("pause", _, _) -> ()
-        | Vstate.Waiting (_, pred, _) -> if pred () then others_can_act := true
+        | Vstate.Waiting ("pause", _, _, _) -> ()
+        | Vstate.Waiting (_, _, pred, _) ->
+            if pred () then others_can_act := true
         | Vstate.Not_started _ | Vstate.Ready _ -> others_can_act := true
       end)
     run.Vstate.threads;
   not !others_can_act
 
+let pause_access = { Vstate.no_access with wakes = true }
+
 let spawn (run : Vstate.run) (th : Vstate.thread) body =
-  Vstate.cur_tid := th.tid;
+  Vstate.set_tid th.tid;
   let resume k () =
-    Vstate.cur_tid := th.tid;
+    Vstate.set_tid th.tid;
     Effect.Deep.continue k ()
   in
   Effect.Deep.match_with body ()
@@ -101,21 +205,24 @@ let spawn (run : Vstate.run) (th : Vstate.thread) body =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Vstate.Op desc ->
+          | Vstate.Op (desc, access) ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  th.status <- Vstate.Ready (desc, resume k))
-          | Vstate.Await_op (desc, pred) ->
+                  th.status <- Vstate.Ready (desc, access, resume k))
+          | Vstate.Await_op (desc, access, pred) ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  th.status <- Vstate.Waiting (desc, pred, resume k))
+                  th.status <- Vstate.Waiting (desc, access, pred, resume k))
           | Vstate.Pause_op ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   let snap = run.Vstate.writes in
                   th.status <-
                     Vstate.Waiting
-                      ("pause", pause_enabled run th snap, resume k))
+                      ( "pause",
+                        pause_access,
+                        pause_enabled run th snap,
+                        resume k ))
           | _ -> None);
     }
 
@@ -127,11 +234,11 @@ let trace_of (run : Vstate.run) =
 let desc_of (th : Vstate.thread) =
   match th.status with
   | Vstate.Not_started _ -> "start"
-  | Vstate.Ready (d, _) -> d
-  | Vstate.Waiting (d, _, _) -> d
+  | Vstate.Ready (d, _, _) -> d
+  | Vstate.Waiting (d, _, _, _) -> d
   | Vstate.Finished -> "done"
 
-let run_once cfg scenario (prefix : choice array) =
+let run_once cfg scenario ~sleep0 (prefix : choice array) =
   let run =
     {
       Vstate.mode = cfg.mode;
@@ -140,10 +247,11 @@ let run_once cfg scenario (prefix : choice array) =
       trace = [];
       writes = 0;
       steps_since_write = 0;
+      next_obj = 0;
     }
   in
-  Vstate.current := Some run;
-  let finally () = Vstate.current := None in
+  Vstate.set_current (Some run);
+  let finally () = Vstate.set_current None in
   Fun.protect ~finally @@ fun () ->
   let bodies = scenario () in
   let threads =
@@ -160,8 +268,16 @@ let run_once cfg scenario (prefix : choice array) =
          bodies)
   in
   run.threads <- threads;
+  let plen = Array.length prefix in
+  let dpor = cfg.strategy = Dpor in
   let taken = ref [] in
   let branch = ref [] in
+  let infos = ref [] in
+  let sleep = ref sleep0 in
+  let sleep_hits = ref 0 in
+  let complete = ref false in
+  let cut = ref false in
+  let end_pending = ref [] in
   let nsteps = ref 0 in
   let unbounded b = b < 0 in
   (* cost of a choice: (preemptions, delays) *)
@@ -176,40 +292,72 @@ let run_once cfg scenario (prefix : choice array) =
             let lt = threads.(last) in
             match lt.Vstate.status with
             | Vstate.Ready _ -> 1
-            | Vstate.Waiting (_, pred, _) -> if pred () then 1 else 0
+            | Vstate.Waiting (_, _, pred, _) -> if pred () then 1 else 0
             | Vstate.Not_started _ -> 1
             | Vstate.Finished -> 0
           end
         in
         let d =
-          if cfg.mode = Vstate.Tso
-             && not (Queue.is_empty threads.(i).Vstate.buffer)
+          if
+            cfg.mode = Vstate.Tso
+            && not (Queue.is_empty threads.(i).Vstate.buffer)
           then 1
           else 0
         in
         (p, d)
+  in
+  let flush_access th =
+    match Queue.peek_opt th.Vstate.buffer with
+    | Some (_, obj, _) -> { Vstate.no_access with writes = [ obj ] }
+    | None -> Vstate.no_access
   in
   let enabled () =
     let acc = ref [] in
     Array.iter
       (fun th ->
         (match th.Vstate.status with
-        | Vstate.Not_started _ | Vstate.Ready _ ->
-            acc := Step th.Vstate.tid :: !acc
-        | Vstate.Waiting (_, pred, _) ->
-            if pred () then acc := Step th.Vstate.tid :: !acc
+        | Vstate.Not_started _ ->
+            acc := (Step th.Vstate.tid, Vstate.no_access) :: !acc
+        | Vstate.Ready (_, a, _) -> acc := (Step th.Vstate.tid, a) :: !acc
+        | Vstate.Waiting (_, a, pred, _) ->
+            if pred () then acc := (Step th.Vstate.tid, a) :: !acc
         | Vstate.Finished -> ());
-        if
-          cfg.mode = Vstate.Tso
-          && not (Queue.is_empty th.Vstate.buffer)
-        then acc := Flush th.Vstate.tid :: !acc)
+        if cfg.mode = Vstate.Tso && not (Queue.is_empty th.Vstate.buffer)
+        then acc := (Flush th.Vstate.tid, flush_access th) :: !acc)
       threads;
     List.rev !acc
+  in
+  (* the pending access of a choice, straight from the thread records —
+     used when a replayed prefix choice is not in the enabled list *)
+  let pending_access = function
+    | Flush i -> flush_access threads.(i)
+    | Step i -> (
+        match threads.(i).Vstate.status with
+        | Vstate.Not_started _ | Vstate.Finished -> Vstate.no_access
+        | Vstate.Ready (_, a, _) | Vstate.Waiting (_, a, _, _) -> a)
+  in
+  (* every unfinished thread's next transition, enabled or not: when
+     the bounds cut a run, these may still race with executed events
+     and must seed backtrack points (they never execute again) *)
+  let gather_pending () =
+    let acc = ref [] in
+    Array.iter
+      (fun th ->
+        (match th.Vstate.status with
+        | Vstate.Not_started _ ->
+            acc := (Step th.Vstate.tid, Vstate.no_access) :: !acc
+        | Vstate.Ready (_, a, _) | Vstate.Waiting (_, a, _, _) ->
+            acc := (Step th.Vstate.tid, a) :: !acc
+        | Vstate.Finished -> ());
+        if cfg.mode = Vstate.Tso && not (Queue.is_empty th.Vstate.buffer)
+        then acc := (Flush th.Vstate.tid, flush_access th) :: !acc)
+      threads;
+    !acc
   in
   let execute = function
     | Flush i ->
         let th = threads.(i) in
-        let desc, commit = Queue.pop th.Vstate.buffer in
+        let desc, _, commit = Queue.pop th.Vstate.buffer in
         run.trace <- (i, desc) :: run.trace;
         commit ()
     | Step i -> (
@@ -236,7 +384,11 @@ let run_once cfg scenario (prefix : choice array) =
               if
                 o.Vstate.status <> Vstate.Finished
                 && o.Vstate.window_steps < 8
-              then all_spun := false)
+              then all_spun := false;
+              (* a non-empty store buffer can still commit a write, so
+                 "nothing is ever written" would be wrong *)
+              if not (Queue.is_empty o.Vstate.buffer) then
+                all_spun := false)
             threads;
           if !all_spun then
             raise
@@ -252,7 +404,8 @@ let run_once cfg scenario (prefix : choice array) =
             th.Vstate.status <- Vstate.Finished;
             (* placeholder; spawn sets the real status *)
             spawn run th body
-        | Vstate.Ready (_, resume) | Vstate.Waiting (_, _, resume) ->
+        | Vstate.Ready (_, _, resume) | Vstate.Waiting (_, _, _, resume)
+          ->
             th.Vstate.status <- Vstate.Finished;
             resume ()
         | Vstate.Finished -> assert false)
@@ -275,74 +428,142 @@ let run_once cfg scenario (prefix : choice array) =
                          (fun th ->
                            Printf.sprintf "t%d blocked at '%s'"
                              th.Vstate.tid (desc_of th))
-                         stuck))))
+                         stuck))));
+         complete := true
        end
        else begin
          let affordable =
            List.filter
-             (fun c ->
+             (fun (c, _) ->
                let p, d = cost last c in
                (unbounded cfg.preemption_bound
                || preempts + p <= cfg.preemption_bound)
-               && (unbounded cfg.delay_bound || delays + d <= cfg.delay_bound))
+               && (unbounded cfg.delay_bound
+                  || delays + d <= cfg.delay_bound))
              all
          in
-         match affordable with
-         | [] -> () (* cut off by the bounds; not a violation *)
-         | _ ->
-             let chosen =
-               if pos < Array.length prefix then prefix.(pos)
-               else begin
-                 let free =
-                   List.filter (fun c -> cost last c = (0, 0)) affordable
-                 in
-                 (* rotate among free steps by window share so default
-                    schedules are fair to spinners *)
-                 let weight = function
-                   | Flush _ -> -1
-                   | Step i -> threads.(i).Vstate.window_steps
-                 in
-                 let pick =
-                   match free with
-                   | [] -> List.hd affordable
-                   | c :: rest ->
-                       List.fold_left
-                         (fun best c ->
-                           if weight c < weight best then c else best)
-                         c rest
-                 in
-                 let rest = List.filter (fun c -> c <> pick) affordable in
-                 if rest <> [] then branch := (pos, rest) :: !branch;
-                 pick
-               end
-             in
-             let p, d = cost last chosen in
-             taken := chosen :: !taken;
-             execute chosen;
-             let last' = match chosen with Step i -> i | Flush _ -> last in
-             loop (pos + 1) (preempts + p) (delays + d) last'
+         if affordable = [] then
+           (* cut off by the bounds; not a violation *)
+           end_pending := gather_pending ()
+         else begin
+           let decision =
+             if pos < plen then Some prefix.(pos)
+             else begin
+               let awake =
+                 List.filter
+                   (fun (c, _) ->
+                     not (List.exists (fun (s, _) -> s = c) !sleep))
+                   affordable
+               in
+               sleep_hits :=
+                 !sleep_hits
+                 + (List.length affordable - List.length awake);
+               match awake with
+               | [] ->
+                   (* every affordable choice sleeps: this state's whole
+                      subtree was already covered from a sibling *)
+                   cut := true;
+                   None
+               | _ ->
+                   let free =
+                     List.filter
+                       (fun (c, _) -> cost last c = (0, 0))
+                       awake
+                   in
+                   (* rotate among free steps by window share so default
+                      schedules are fair to spinners *)
+                   let weight = function
+                     | Flush _ -> -1
+                     | Step i -> threads.(i).Vstate.window_steps
+                   in
+                   let pick =
+                     match List.map fst free with
+                     | [] -> fst (List.hd awake)
+                     | c :: rest ->
+                         List.fold_left
+                           (fun best c ->
+                             if weight c < weight best then c else best)
+                           c rest
+                   in
+                   if not dpor then begin
+                     let rest =
+                       List.filter_map
+                         (fun (c, _) -> if c <> pick then Some c else None)
+                         affordable
+                     in
+                     if rest <> [] then branch := (pos, rest) :: !branch
+                   end;
+                   Some pick
+             end
+           in
+           match decision with
+           | None -> ()
+           | Some chosen ->
+               let access =
+                 match List.assoc_opt chosen all with
+                 | Some a -> a
+                 | None -> pending_access chosen
+               in
+               let p, d = cost last chosen in
+               taken := chosen :: !taken;
+               let writes_before = run.Vstate.writes in
+               execute chosen;
+               if dpor then
+                 infos :=
+                   {
+                     pi_choice = chosen;
+                     pi_access = access;
+                     pi_enabled = affordable;
+                     pi_sleep = !sleep;
+                     pi_wrote = run.Vstate.writes > writes_before;
+                   }
+                   :: !infos;
+               if dpor && pos >= plen then
+                 sleep :=
+                   List.filter
+                     (fun (_, sa) -> not (conflicts sa access))
+                     !sleep;
+               let last' =
+                 match chosen with Step i -> i | Flush _ -> last
+               in
+               loop (pos + 1) (preempts + p) (delays + d) last'
+         end
        end
      in
      loop 0 0 0 (-1)
    with
   | Abort_run v -> outcome := Some (v, trace_of run)
-  | Prune -> ()
-  | Vstate.Prop_violation msg -> outcome := Some (Property msg, trace_of run)
-  | Stack_overflow ->
-      outcome := Some (Crash "stack overflow", trace_of run)
+  | Prune ->
+      cut := true;
+      end_pending := gather_pending ()
+  | Vstate.Prop_violation msg ->
+      outcome := Some (Property msg, trace_of run)
+  | Stack_overflow -> outcome := Some (Crash "stack overflow", trace_of run)
   | e when e <> Out_of_memory ->
       outcome := Some (Crash (Printexc.to_string e), trace_of run));
   {
     taken = Array.of_list (List.rev !taken);
     branch = !branch;
+    infos = Array.of_list (List.rev !infos);
+    nthreads = Array.length threads;
+    end_pending = !end_pending;
     bad = !outcome;
     nsteps = !nsteps;
+    sleep_hits = !sleep_hits;
+    complete = !complete;
+    cut = !cut;
   }
 
-let check ?(config = default) ~name scenario =
+(* ------------------------------------------------------------------ *)
+(* Naive bounded DFS (the differential-testing oracle)                 *)
+(* ------------------------------------------------------------------ *)
+
+let naive_check config name scenario =
   let t0 = Sys.time () in
   let executions = ref 0 in
   let steps = ref 0 in
+  let complete = ref 0 in
+  let pruned = ref 0 in
   let truncated = ref false in
   let violation = ref None in
   let stack = ref [ [||] ] in
@@ -354,8 +575,10 @@ let check ?(config = default) ~name scenario =
         if !executions >= config.max_executions then truncated := true
         else begin
           incr executions;
-          let r = run_once config scenario prefix in
+          let r = run_once config scenario ~sleep0:[] prefix in
           steps := !steps + r.nsteps;
+          if r.complete then incr complete;
+          if r.cut then incr pruned;
           match r.bad with
           | Some v -> violation := Some v
           | None ->
@@ -367,8 +590,7 @@ let check ?(config = default) ~name scenario =
                   List.iter
                     (fun alt ->
                       let prefix' = Array.sub r.taken 0 pos in
-                      stack :=
-                        Array.append prefix' [| alt |] :: !stack)
+                      stack := Array.append prefix' [| alt |] :: !stack)
                     alts)
                 r.branch;
               go ()
@@ -377,12 +599,333 @@ let check ?(config = default) ~name scenario =
   go ();
   {
     name;
+    strategy = Naive;
     executions = !executions;
     steps = !steps;
+    complete = !complete;
+    pruned = !pruned;
+    sleep_hits = 0;
+    races = 0;
     violation = !violation;
     truncated = !truncated;
     seconds = Sys.time () -. t0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* DPOR                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One node per position of the current exploration path. nd_enabled is
+   the affordable set observed when the node's state was first reached
+   (the state is a deterministic function of the choices before it, so
+   the set never changes across visits). nd_sleep is the node's live
+   sleep set: the inherited sleep-in plus every sibling choice whose
+   subtree is already fully explored. *)
+type node = {
+  nd_enabled : (choice * Vstate.access) list;
+  mutable nd_choice : choice;
+  mutable nd_access : Vstate.access;
+  mutable nd_backtrack : choice list;
+  mutable nd_done : choice list;
+  mutable nd_sleep : (choice * Vstate.access) list;
+}
+
+let dpor_check cfg name scenario =
+  let t0 = Sys.time () in
+  let executions = ref 0 in
+  let steps = ref 0 in
+  let complete = ref 0 in
+  let pruned = ref 0 in
+  let sleep_hits = ref 0 in
+  let races = ref 0 in
+  let truncated = ref false in
+  let violation = ref None in
+  (* growable path of nodes (OCaml 5.1: no Dynarray yet) *)
+  let path = ref (Array.make 256 None) in
+  let plen = ref 0 in
+  let node d =
+    match !path.(d) with Some nd -> nd | None -> assert false
+  in
+  let push nd =
+    if !plen = Array.length !path then begin
+      let bigger = Array.make (2 * !plen) None in
+      Array.blit !path 0 bigger 0 !plen;
+      path := bigger
+    end;
+    !path.(!plen) <- Some nd;
+    incr plen
+  in
+  let run_with prefix sleep0 =
+    incr executions;
+    let r = run_once cfg scenario ~sleep0 prefix in
+    steps := !steps + r.nsteps;
+    sleep_hits := !sleep_hits + r.sleep_hits;
+    if r.complete then incr complete;
+    if r.cut then incr pruned;
+    (match r.bad with Some v -> violation := Some v | None -> ());
+    r
+  in
+  let append_fresh from r =
+    for pos = from to Array.length r.infos - 1 do
+      let i = r.infos.(pos) in
+      push
+        {
+          nd_enabled = i.pi_enabled;
+          nd_choice = i.pi_choice;
+          nd_access = i.pi_access;
+          nd_backtrack = [];
+          nd_done = [ i.pi_choice ];
+          nd_sleep = i.pi_sleep;
+        }
+    done
+  in
+  (* Vector-clock pass over one recorded execution: detect races
+     (conflicting accesses not ordered by happens-before) and schedule
+     the reversal at the earlier access's node. Procs are 2*tid for the
+     thread and 2*tid+1 for its store buffer; clock entries hold trace
+     positions, so "event at position i by proc q happens-before proc
+     p's current point" is just i <= clock_p.(q). *)
+  let analyze (r : exec_result) =
+    let n = Array.length r.infos in
+    if n > 0 then begin
+      let nprocs = 2 * r.nthreads in
+      let proc = function Step i -> 2 * i | Flush i -> (2 * i) + 1 in
+      let clocks = Array.init nprocs (fun _ -> Array.make nprocs (-1)) in
+      let join dst (src : int array) =
+        for k = 0 to nprocs - 1 do
+          if src.(k) > dst.(k) then dst.(k) <- src.(k)
+        done
+      in
+      (* per-object: last committing write and the reads since it *)
+      let last_write : (int, int * int array) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      let reads_since : (int, (int * int array) list) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      let reads_of x =
+        Option.value (Hashtbl.find_opt reads_since x) ~default:[]
+      in
+      (* the wakes pseudo-object: pauses depend on every write *)
+      let last_any_write = ref None in
+      let pauses_since = ref [] in
+      (* clock snapshots of buffered stores awaiting their flush *)
+      let insert_q = Array.init r.nthreads (fun _ -> Queue.create ()) in
+      let candidates (a : Vstate.access) =
+        let cs = ref [] in
+        List.iter
+          (fun x ->
+            match Hashtbl.find_opt last_write x with
+            | Some (i, _) -> cs := i :: !cs
+            | None -> ())
+          a.Vstate.reads;
+        List.iter
+          (fun x ->
+            (match Hashtbl.find_opt last_write x with
+            | Some (i, _) -> cs := i :: !cs
+            | None -> ());
+            List.iter (fun (i, _) -> cs := i :: !cs) (reads_of x))
+          a.Vstate.writes;
+        if a.Vstate.wakes then begin
+          (match !last_any_write with
+          | Some (i, _) -> cs := i :: !cs
+          | None -> ());
+          (* pause-pause races: every unretired pause, not just the
+             last — reversing deep ones alone is too late for the
+             starved spinner to share the no-write window *)
+          List.iter (fun (i, _) -> cs := i :: !cs) !pauses_since
+        end;
+        if a.Vstate.writes <> [] then
+          List.iter (fun (i, _) -> cs := i :: !cs) !pauses_since;
+        List.sort_uniq compare !cs
+      in
+      (* schedule proc-of-[later] at node [at]; if it has no affordable
+         choice there, fall back to all untried alternatives (the
+         Flanagan-Godefroid else-branch) *)
+      let fresh at c =
+        let nd = node at in
+        (not (List.mem c nd.nd_done))
+        && (not (List.mem c nd.nd_backtrack))
+        && not (List.exists (fun (s, _) -> s = c) nd.nd_sleep)
+      in
+      let flag at later =
+        if at < !plen then begin
+          let nd = node at in
+          let p = proc later in
+          match List.find_opt (fun (c, _) -> proc c = p) nd.nd_enabled with
+          | Some (c, _) ->
+              if fresh at c then begin
+                nd.nd_backtrack <- c :: nd.nd_backtrack;
+                incr races
+              end
+          | None ->
+              List.iter
+                (fun (c, _) ->
+                  if fresh at c then begin
+                    nd.nd_backtrack <- c :: nd.nd_backtrack;
+                    incr races
+                  end)
+                nd.nd_enabled
+        end
+      in
+      let race_check (cp : int array) c a =
+        let p = proc c in
+        List.iter
+          (fun i ->
+            let qi = proc r.infos.(i).pi_choice in
+            if qi <> p && i > cp.(qi) then flag i c)
+          (candidates a)
+      in
+      for j = 0 to n - 1 do
+        let info = r.infos.(j) in
+        let c = info.pi_choice in
+        let p = proc c in
+        let a = info.pi_access in
+        let cp = clocks.(p) in
+        (* a flush happens after its insert: inherit that clock first *)
+        (match c with
+        | Flush i -> (
+            match Queue.take_opt insert_q.(i) with
+            | Some vc -> join cp vc
+            | None -> ())
+        | Step _ -> ());
+        race_check cp c a;
+        (* dependence edges into this event *)
+        List.iter
+          (fun x ->
+            match Hashtbl.find_opt last_write x with
+            | Some (_, vc) -> join cp vc
+            | None -> ())
+          a.Vstate.reads;
+        List.iter
+          (fun x ->
+            (match Hashtbl.find_opt last_write x with
+            | Some (_, vc) -> join cp vc
+            | None -> ());
+            List.iter (fun (_, vc) -> join cp vc) (reads_of x))
+          a.Vstate.writes;
+        if a.Vstate.wakes then begin
+          (match !last_any_write with
+          | Some (_, vc) -> join cp vc
+          | None -> ());
+          List.iter (fun (_, vc) -> join cp vc) !pauses_since
+        end;
+        if a.Vstate.writes <> [] then
+          List.iter (fun (_, vc) -> join cp vc) !pauses_since;
+        cp.(p) <- j;
+        let vc = Array.copy cp in
+        List.iter
+          (fun x ->
+            Hashtbl.replace last_write x (j, vc);
+            Hashtbl.replace reads_since x [])
+          a.Vstate.writes;
+        List.iter
+          (fun x -> Hashtbl.replace reads_since x ((j, vc) :: reads_of x))
+          a.Vstate.reads;
+        if a.Vstate.writes <> [] then last_any_write := Some (j, vc);
+        (* only an actual commit wakes (and thereby retires) earlier
+           pauses; a failed CAS only declared the write *)
+        if info.pi_wrote then pauses_since := [];
+        if a.Vstate.wakes then pauses_since := (j, vc) :: !pauses_since;
+        (match c with
+        | Step i ->
+            (* a committing step drains the buffer, retiring any inserts
+               a flush will now never pop *)
+            if a.Vstate.writes <> [] then Queue.clear insert_q.(i);
+            if a.Vstate.inserts <> [] then Queue.add vc insert_q.(i)
+        | Flush _ -> ())
+      done;
+      (* transitions left pending when the bounds cut the run never get
+         a "next execution of their proc" to race-check from — do it
+         here, against their proc's final clock *)
+      List.iter
+        (fun (c, a) ->
+          let cp = clocks.(proc c) in
+          let cp =
+            match c with
+            | Flush i -> (
+                match Queue.peek_opt insert_q.(i) with
+                | Some vc ->
+                    let cp' = Array.copy cp in
+                    join cp' vc;
+                    cp'
+                | None -> cp)
+            | Step _ -> cp
+          in
+          race_check cp c a)
+        r.end_pending
+    end
+  in
+  let r0 = run_with [||] [] in
+  append_fresh 0 r0;
+  if !violation = None then analyze r0;
+  let continue = ref (!violation = None) in
+  while !continue do
+    if !executions >= cfg.max_executions then begin
+      truncated := true;
+      continue := false
+    end
+    else begin
+      (* deepest node with an unexplored backtrack candidate *)
+      let d = ref (!plen - 1) in
+      let found = ref None in
+      while !found = None && !d >= 0 do
+        let nd = node !d in
+        (match
+           List.find_opt
+             (fun c ->
+               (not (List.mem c nd.nd_done))
+               && not (List.exists (fun (s, _) -> s = c) nd.nd_sleep))
+             nd.nd_backtrack
+         with
+        | Some c -> found := Some (!d, c)
+        | None -> decr d)
+      done;
+      match !found with
+      | None -> continue := false
+      | Some (d, c) ->
+          let nd = node d in
+          (* the subtree under the current choice is fully explored:
+             siblings must not wander back into it *)
+          nd.nd_sleep <- (nd.nd_choice, nd.nd_access) :: nd.nd_sleep;
+          let c_access =
+            match List.assoc_opt c nd.nd_enabled with
+            | Some a -> a
+            | None -> Vstate.no_access
+          in
+          nd.nd_choice <- c;
+          nd.nd_access <- c_access;
+          nd.nd_done <- c :: nd.nd_done;
+          plen := d + 1;
+          let prefix = Array.init (d + 1) (fun k -> (node k).nd_choice) in
+          let sleep0 =
+            List.filter
+              (fun (_, sa) -> not (conflicts sa c_access))
+              nd.nd_sleep
+          in
+          let r = run_with prefix sleep0 in
+          append_fresh (d + 1) r;
+          if !violation = None then analyze r else continue := false
+    end
+  done;
+  {
+    name;
+    strategy = Dpor;
+    executions = !executions;
+    steps = !steps;
+    complete = !complete;
+    pruned = !pruned;
+    sleep_hits = !sleep_hits;
+    races = !races;
+    violation = !violation;
+    truncated = !truncated;
+    seconds = Sys.time () -. t0;
+  }
+
+let check ?(config = default) ~name scenario =
+  match config.strategy with
+  | Naive -> naive_check config name scenario
+  | Dpor -> dpor_check config name scenario
 
 let violation_to_string = function
   | Property m -> "property: " ^ m
@@ -391,9 +934,14 @@ let violation_to_string = function
   | Crash m -> "crash: " ^ m
 
 let pp_report ppf r =
-  Format.fprintf ppf "%-34s %8d execs %9d steps %6.2fs %s%s" r.name
+  Format.fprintf ppf "%-34s %8d execs %9d steps %6.2fs %s%s%s" r.name
     r.executions r.steps r.seconds
     (match r.violation with
     | None -> "ok"
     | Some (v, _) -> "VIOLATION " ^ violation_to_string v)
     (if r.truncated then " (truncated)" else "")
+    (match r.strategy with
+    | Naive -> ""
+    | Dpor ->
+        Printf.sprintf " [dpor %d complete, %d pruned, %d races, %d sleep]"
+          r.complete r.pruned r.races r.sleep_hits)

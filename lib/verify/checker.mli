@@ -4,14 +4,26 @@
 
     Scenarios are closures building fresh shared state and returning
     thread bodies written against {!Vmem}. The checker re-executes the
-    scenario under depth-first-explored schedules: at every memory
+    scenario under systematically explored schedules: at every memory
     operation it chooses which thread runs next, and in TSO mode it
-    additionally explores delayed store-buffer flushes. Exploration is
-    bounded by a preemption budget (CHESS-style) and a store-delay
-    budget, so it is a bounded checker, not a proof tool — but it finds
-    the classic weak-memory bugs (see {!Scenarios}) and exhaustively
-    covers small configurations when the bounds exceed the scenario
-    size.
+    additionally explores delayed store-buffer flushes. Two strategies
+    share one execution engine:
+
+    - {!Dpor} (the default): dynamic partial-order reduction (Flanagan
+      & Godefroid, POPL 2005) with sleep sets. A vector-clock
+      happens-before relation is maintained over the visible operations
+      of each execution (store-buffer flushes count as actions of a
+      per-thread buffer proc); conflicting concurrent accesses schedule
+      the reversed order at the earlier access, and everything else is
+      recognised as equivalent and explored once.
+    - {!Naive}: the original branch-on-everything bounded DFS, kept as
+      a differential-testing oracle.
+
+    Exploration is additionally bounded by a preemption budget
+    (CHESS-style) and a store-delay budget, so with finite bounds this
+    is a bounded checker, not a proof tool — but it finds the classic
+    weak-memory bugs (see {!Scenarios}) and exhaustively covers small
+    configurations when the bounds are off ([-1]).
 
     Checked properties: mutual exclusion (via {!cs_enter}/{!cs_exit}),
     deadlock (no enabled action while threads remain — covering lost
@@ -19,19 +31,50 @@
     (step bound), and any {!Vstate.Prop_violation} raised by scenario
     assertions (e.g. the context invariant). *)
 
-type config = {
-  mode : Vstate.mode;
-  preemption_bound : int;  (** [-1] = unbounded (exhaustive) *)
-  delay_bound : int;  (** TSO store-delay budget; [-1] = unbounded *)
-  max_executions : int;
-  max_steps : int;  (** per-thread visible-op budget per execution *)
-}
+type strategy =
+  | Naive  (** branch on every affordable choice (oracle) *)
+  | Dpor  (** dynamic partial-order reduction + sleep sets (default) *)
+
+type config
+(** Abstract: build with {!Config}, or start from {!sc} / {!tso}. *)
+
+(** Builder for checker configurations. [make ()] is SC, preemption
+    bound 2, delay bound 2, 100k executions, 5k steps per thread,
+    {!Dpor}. Bounds of [-1] mean unbounded (exhaustive). *)
+module Config : sig
+  type t = config
+
+  val make : ?mode:Vstate.mode -> unit -> t
+  val with_mode : Vstate.mode -> t -> t
+
+  val with_preemptions : int -> t -> t
+  (** CHESS-style preemption budget; [-1] = unbounded. *)
+
+  val with_delays : int -> t -> t
+  (** TSO store-delay budget; [-1] = unbounded. *)
+
+  val with_strategy : strategy -> t -> t
+
+  val with_budget : ?executions:int -> ?steps:int -> t -> t
+  (** [executions]: schedules explored before giving up (truncation);
+      [steps]: per-thread visible-op budget per execution (runaway). *)
+
+  val mode : t -> Vstate.mode
+  val preemptions : t -> int
+  val delays : t -> int
+  val strategy : t -> strategy
+  val max_executions : t -> int
+  val max_steps : t -> int
+end
 
 val default : config
-(** SC, preemptions 2, delays 2, 100k executions, 5k steps. *)
+(** [Config.make ()]. *)
 
 val sc : ?preemptions:int -> unit -> config
+(** SC-mode shorthand: [Config.make ~mode:Sc () |> with_preemptions]. *)
+
 val tso : ?preemptions:int -> ?delays:int -> unit -> config
+(** TSO-mode shorthand with preemption and delay budgets. *)
 
 type violation =
   | Property of string  (** mutual exclusion / assertion / invariant *)
@@ -41,8 +84,23 @@ type violation =
 
 type report = {
   name : string;
-  executions : int;  (** distinct schedules explored *)
+  strategy : strategy;  (** which exploration produced this report *)
+  executions : int;  (** schedules explored *)
   steps : int;  (** total visible operations executed *)
+  complete : int;
+      (** executions that ran to quiescence — the distinct
+          representative traces (one per equivalence class under DPOR,
+          up to the race-forced revisits) *)
+  pruned : int;
+      (** executions cut short without proving anything: sleep-blocked
+          (the subtree was covered from a sibling) or cut by the
+          fairness pruner *)
+  sleep_hits : int;
+      (** scheduling alternatives skipped because they were in the
+          sleep set (always 0 under {!Naive}) *)
+  races : int;
+      (** backtrack points scheduled from detected races (always 0
+          under {!Naive}) *)
   violation : (violation * string list) option;
       (** first violation found, with the schedule trace that exhibits
           it (["tid: op"] lines) *)
@@ -54,12 +112,15 @@ val check :
   ?config:config -> name:string -> (unit -> (unit -> unit) list) -> report
 (** Explore all schedules of the scenario within bounds. The scenario
     is re-run from scratch once per schedule and must be deterministic
-    apart from scheduling. *)
+    apart from scheduling. Safe to call from parallel domains (one
+    check per domain at a time): all run state is domain-local. *)
 
 val cs_enter : unit -> unit
 (** Mark critical-section entry; overlapping sections raise the mutual
     exclusion violation. Call between acquire and release. *)
 
 val cs_exit : unit -> unit
+
+val violation_to_string : violation -> string
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,14 +1,20 @@
 (** The verification scenarios of the paper's Section 4.2, over the
     {!Checker}.
 
-    Base step: every basic lock is checked alone (mutual exclusion +
-    absence of deadlock/runaway) under SC and under TSO store buffers.
-    Induction step: one 2-level CLoF composition over abstract fair
-    locks (Ticketlocks, as in the paper), with the {e context
-    invariant} monitored dynamically. The aspect-A4 exhibit is
-    Peterson's algorithm: correct under SC, broken by store buffering
-    unless fenced — the checker's TSO mode finds the mutual-exclusion
-    violation in the unfenced variant and passes the fenced one. *)
+    Base step: every basic lock registered in {!Clof_locks.Registry} is
+    checked alone (mutual exclusion + absence of deadlock/runaway)
+    under SC and under TSO store buffers. Induction step: CLoF
+    compositions over abstract fair locks (Ticketlocks, as in the
+    paper) at depths 2 and 3, with the {e context invariant} monitored
+    dynamically. The aspect-A4 exhibit is Peterson's algorithm: correct
+    under SC, broken by store buffering unless fenced — the checker's
+    TSO mode finds the mutual-exclusion violation in the unfenced
+    variant and passes the fenced one.
+
+    The whole collection is exposed as {!suite} / {!run_suite}; the
+    harness's [verify] experiment and [clof_bench verify] consume that
+    single entry point (optionally running entries in parallel by
+    passing an executor's [map]). *)
 
 type named = {
   sname : string;
@@ -22,37 +28,93 @@ type named = {
 val run : named -> Checker.report
 
 val base_step :
-  ?threads:int -> ?iters:int -> mode:Vstate.mode -> string -> named option
+  ?threads:int ->
+  ?iters:int ->
+  ?strategy:Checker.strategy ->
+  mode:Vstate.mode ->
+  string ->
+  named option
 (** Scenario for one basic lock by registry name ("tkt", "mcs", "clh",
     "hem", "tas", "ttas", "bo"); [threads] defaults to 3, [iters] to
-    2 acquisitions per thread. *)
+    2 acquisitions per thread. Spin-heavy locks (TAS family, Hemlock)
+    get a tighter per-thread step budget so their spin-tails stay
+    bounded. *)
 
-val induction_step : ?depth:int -> ?threads:int -> mode:Vstate.mode -> unit -> named
+val induction_step :
+  ?depth:int ->
+  ?threads:int ->
+  ?strategy:Checker.strategy ->
+  mode:Vstate.mode ->
+  unit ->
+  named
 (** CLoF composition of abstract Ticketlocks with [depth] levels
-    (default 2) on a miniature 2-node topology, context invariant
+    (default 2, max 3) on a miniature topology, context invariant
     checked. [threads] defaults to 3. *)
 
 val abort_step :
-  ?threads:int -> ?iters:int -> mode:Vstate.mode -> string -> named option
+  ?threads:int ->
+  ?iters:int ->
+  ?strategy:Checker.strategy ->
+  mode:Vstate.mode ->
+  string ->
+  named option
 (** Abort safety of one basic lock: one thread acquires with a
     deadline the checker may expire at any point — including between
     enqueue and handover — while the others block. Checks mutual
     exclusion on the abort path and that no grant is lost (a lost
     wakeup surfaces as the checker's deadlock verdict). *)
 
-val abort_induction : ?threads:int -> mode:Vstate.mode -> unit -> named
+val abort_induction :
+  ?threads:int -> ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
 (** Abort safety of the composition: a 2-level all-MCS CLoF lock with
     a timed outer acquisition, instrumented root — the model-checked
     counterpart of the abortability induction step documented in
     {!Clof_core.Compose}. *)
 
-val peterson : fenced:bool -> mode:Vstate.mode -> named
+val peterson :
+  ?strategy:Checker.strategy -> fenced:bool -> mode:Vstate.mode -> unit -> named
+
+(** {1 The suite} *)
+
+type group = Base | Abort | Induction | Exhibit
+
+val group_tag : group -> string
+
+type entry = { e_named : named; e_group : group }
+
+type outcome = {
+  o_entry : entry;
+  o_report : Checker.report;
+  o_ok : bool;
+      (** the report's verdict matches [expect_violation]: a clean pass
+          for ordinary scenarios, a found violation for exhibits *)
+}
+
+val suite : ?quick:bool -> ?strategy:Checker.strategy -> unit -> entry list
+(** Every verification scenario: base steps for all registered locks
+    (SC + TSO), abort steps, induction steps (depth 2 SC + TSO, depth 3
+    SC unless [quick]), abort induction, Peterson exhibits. [strategy]
+    overrides the checker strategy on every entry (default DPOR). *)
+
+val run_suite :
+  ?map:((entry -> outcome) -> entry list -> outcome list) ->
+  entry list ->
+  outcome list
+(** Run entries and judge each against its expectation. [map] defaults
+    to [List.map]; pass an executor's map (e.g. [Clof_exec.Exec.map])
+    to check scenarios in parallel — each check is self-contained and
+    domain-safe. *)
 
 val all : unit -> named list
-(** The full verification suite: base steps (SC + TSO), induction step
-    (SC + TSO), Peterson exhibits. *)
+(** Compatibility view of {!suite}: the plain scenario list. *)
 
-val scaling : ?max_depth:int -> unit -> (int * Checker.report) list
+val scaling :
+  ?max_depth:int ->
+  ?strategy:Checker.strategy ->
+  ?executions:int ->
+  unit ->
+  (int * Checker.report) list
 (** The Section 4.2.3 experiment: checker effort versus composition
     depth (1..max_depth, default 3), SC mode, exhaustive within the
-    execution budget. *)
+    execution budget — under DPOR by default; pass [~strategy:Naive]
+    for the oracle column. *)

@@ -1,10 +1,13 @@
 type 'a aref = {
   name : string;
+  id : int; (* dependence-tracking label, unique per location *)
   mutable v : 'a; (* committed, globally visible value *)
   mutable pend : (int * 'a) list; (* buffered stores: (tid, value), newest first *)
 }
 
-let make ?node:_ ?(name = "ref") v = { name; v; pend = [] }
+let make ?node:_ ?(name = "ref") v =
+  { name; id = Vstate.new_obj (); v; pend = [] }
+
 let colocated _other ?(name = "ref") v = make ~name v
 
 type anchor = unit
@@ -22,16 +25,37 @@ let visible_as tid r =
   in
   find r.pend
 
-let visible r = visible_as !Vstate.cur_tid r
-let point desc = Effect.perform (Vstate.Op desc)
+let visible r = visible_as (Vstate.get_tid ()) r
+
+(* Suspend at a scheduling point, declaring what the operation will
+   touch when it is resumed. The access is computed *now*, before the
+   suspension: between now and the resumption only this thread's own
+   flushes can run ahead of it, which shrinks the store buffer — so an
+   access that includes the current buffer contents over-approximates
+   the executed one, which is the sound direction for DPOR. *)
+let point desc access = Effect.perform (Vstate.Op (desc, access))
 
 let my_thread () =
   let run = Vstate.the_run () in
-  run.threads.(!Vstate.cur_tid)
+  run.threads.(Vstate.get_tid ())
+
+(* Objects with stores sitting in this thread's buffer: an operation
+   that drains the buffer (RMW, fence, SC store) commits all of them. *)
+let own_buffer_objs () =
+  match Vstate.get_current () with
+  | None -> []
+  | Some run ->
+      let tid = Vstate.get_tid () in
+      if tid < 0 || tid >= Array.length run.threads then []
+      else
+        Queue.fold
+          (fun acc (_, obj, _) -> obj :: acc)
+          []
+          run.threads.(tid).Vstate.buffer
 
 let drain_own_buffer () =
   let th = my_thread () in
-  Queue.iter (fun (_, commit) -> commit ()) th.buffer;
+  Queue.iter (fun (_, _, commit) -> commit ()) th.buffer;
   Queue.clear th.buffer
 
 let commit_direct r v =
@@ -40,7 +64,7 @@ let commit_direct r v =
   Vstate.bump_writes ()
 
 let buffered_store r v =
-  let tid = !Vstate.cur_tid in
+  let tid = Vstate.get_tid () in
   let th = my_thread () in
   r.pend <- (tid, v) :: r.pend;
   let commit () =
@@ -58,22 +82,32 @@ let buffered_store r v =
     in
     r.pend <- fst (drop_oldest r.pend)
   in
-  Queue.add ("flush " ^ r.name, commit) th.buffer
+  Queue.add ("flush " ^ r.name, r.id, commit) th.buffer
 
 let load ?o:_ r =
-  point ("load " ^ r.name);
+  point ("load " ^ r.name) { Vstate.no_access with reads = [ r.id ] };
   visible r
 
 let store ?(o = Clof_atomics.Memory_order.Seq_cst) ?rmw:_ r v =
-  point ("store " ^ r.name);
   let run = Vstate.the_run () in
   match (run.mode, o) with
   | Vstate.Sc, _ | Vstate.Tso, Clof_atomics.Memory_order.Seq_cst ->
+      point
+        ("store " ^ r.name)
+        { Vstate.no_access with writes = r.id :: own_buffer_objs () };
       commit_direct r v
-  | Vstate.Tso, (Relaxed | Acquire | Release) -> buffered_store r v
+  | Vstate.Tso, (Relaxed | Acquire | Release) ->
+      point ("store " ^ r.name) { Vstate.no_access with inserts = [ r.id ] };
+      buffered_store r v
+
+(* RMWs read the committed value and commit: they both read and write
+   their object, and drain the store buffer first (TSO RMWs are
+   fenced), so every buffered object counts as written too. *)
+let rmw_access r =
+  { Vstate.no_access with reads = [ r.id ]; writes = r.id :: own_buffer_objs () }
 
 let cas r ~expected ~desired =
-  point ("cas " ^ r.name);
+  point ("cas " ^ r.name) (rmw_access r);
   drain_own_buffer ();
   if r.v == expected then begin
     r.v <- desired;
@@ -83,7 +117,7 @@ let cas r ~expected ~desired =
   else false
 
 let exchange r v =
-  point ("xchg " ^ r.name);
+  point ("xchg " ^ r.name) (rmw_access r);
   drain_own_buffer ();
   let old = r.v in
   r.v <- v;
@@ -91,7 +125,7 @@ let exchange r v =
   old
 
 let fetch_add r n =
-  point ("faa " ^ r.name);
+  point ("faa " ^ r.name) (rmw_access r);
   drain_own_buffer ();
   let old = r.v in
   r.v <- old + n;
@@ -99,17 +133,18 @@ let fetch_add r n =
   old
 
 let await ?rmw:_ r pred =
-  let tid = !Vstate.cur_tid in
+  let tid = Vstate.get_tid () in
   let enabled () = pred (visible_as tid r) in
+  let access = { Vstate.no_access with reads = [ r.id ] } in
   let rec go () =
-    Effect.perform (Vstate.Await_op ("await " ^ r.name, enabled));
+    Effect.perform (Vstate.Await_op ("await " ^ r.name, access, enabled));
     let v = visible r in
     if pred v then v else go ()
   in
   go ()
 
 let fence () =
-  point "fence";
+  point "fence" { Vstate.no_access with writes = own_buffer_objs () };
   drain_own_buffer ()
 
 let pause () = Effect.perform Vstate.Pause_op
@@ -127,6 +162,10 @@ let now () = (my_thread ()).Vstate.steps
    including the race in the same step window — the [deadline] value
    itself is irrelevant to which schedules exist. *)
 let await_until ?rmw:_ r ~deadline:_ pred =
-  Effect.perform (Vstate.Await_op ("tryawait " ^ r.name, fun () -> true));
+  Effect.perform
+    (Vstate.Await_op
+       ( "tryawait " ^ r.name,
+         { Vstate.no_access with reads = [ r.id ] },
+         fun () -> true ));
   let v = visible r in
   if pred v then Some v else None

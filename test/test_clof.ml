@@ -238,7 +238,8 @@ let test_fastpath_verified () =
   let r =
     Clof_verify.Checker.check
       ~config:
-        { (Clof_verify.Checker.sc ()) with max_executions = 20_000 }
+        (Clof_verify.Checker.Config.with_budget ~executions:20_000
+           (Clof_verify.Checker.sc ()))
       ~name:"fastpath" scenario
   in
   check_bool "no violation" true (r.Clof_verify.Checker.violation = None)

@@ -5,6 +5,7 @@ module Vstate = Clof_verify.Vstate
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let qcheck = QCheck_alcotest.to_alcotest
 
 let has_violation r = Option.is_some r.C.violation
 
@@ -15,6 +16,8 @@ let violation_kind r =
   | Some (C.Runaway _, _) -> "runaway"
   | Some (C.Crash _, _) -> "crash"
   | None -> "none"
+
+let with_strategy s cfg = C.Config.with_strategy s cfg
 
 (* ---------- the checker finds seeded bugs ---------- *)
 
@@ -28,8 +31,15 @@ let test_finds_broken_lock () =
         V.store data (v + 1);
         C.cs_exit ())
   in
-  let r = C.check ~name:"no-lock" scenario in
-  Alcotest.(check string) "mutex violated" "property" (violation_kind r)
+  List.iter
+    (fun strategy ->
+      let r =
+        C.check ~config:(with_strategy strategy C.default) ~name:"no-lock"
+          scenario
+      in
+      Alcotest.(check string)
+        "mutex violated" "property" (violation_kind r))
+    [ C.Naive; C.Dpor ]
 
 let test_finds_deadlock () =
   (* classic ABBA with two TAS locks *)
@@ -44,12 +54,18 @@ let test_finds_deadlock () =
     in
     [ t a b; t b a ]
   in
-  let r = C.check ~name:"abba" scenario in
-  check_bool "found something" true (has_violation r);
-  (* blocked cas loops show up as deadlock (all awaits disabled) or as
-     runaway spinning, depending on the lock's wait primitive *)
-  check_bool "deadlock or runaway" true
-    (violation_kind r = "deadlock" || violation_kind r = "runaway")
+  List.iter
+    (fun strategy ->
+      let r =
+        C.check ~config:(with_strategy strategy C.default) ~name:"abba"
+          scenario
+      in
+      check_bool "found something" true (has_violation r);
+      (* blocked cas loops show up as deadlock (all awaits disabled) or
+         as runaway spinning, depending on the lock's wait primitive *)
+      check_bool "deadlock or runaway" true
+        (violation_kind r = "deadlock" || violation_kind r = "runaway"))
+    [ C.Naive; C.Dpor ]
 
 let test_finds_lost_wakeup () =
   (* waiting for a flag nobody sets *)
@@ -66,6 +82,33 @@ let test_finds_assertion () =
   in
   let r = C.check ~name:"assert" scenario in
   Alcotest.(check string) "property" "property" (violation_kind r)
+
+(* A holder that never releases: the blocked waiter must surface as a
+   deadlock/runaway verdict under DPOR too (the abort-path deadlock
+   shape: a grant that never arrives). *)
+let test_dpor_finds_abandoned_holder () =
+  let module T = Clof_locks.Tas.Make (V) in
+  let scenario () =
+    let l = T.create () in
+    [
+      (fun () -> T.acquire l ());
+      (fun () ->
+        T.acquire l ();
+        T.release l ());
+    ]
+  in
+  List.iter
+    (fun strategy ->
+      let r =
+        C.check
+          ~config:
+            (C.default |> with_strategy strategy
+           |> C.Config.with_budget ~steps:200)
+          ~name:"abandoned" scenario
+      in
+      check_bool "found" true
+        (violation_kind r = "deadlock" || violation_kind r = "runaway"))
+    [ C.Naive; C.Dpor ]
 
 (* ---------- store-buffer litmus (TSO vs SC) ---------- *)
 
@@ -90,21 +133,35 @@ let sb_litmus outcomes () =
   ]
 
 let test_sb_reachable_under_tso () =
-  let outcomes = ref [] in
-  let cfg = { (C.tso ~preemptions:2 ~delays:4 ()) with C.max_executions = 5_000 } in
-  let r = C.check ~config:cfg ~name:"sb-tso" (sb_litmus outcomes) in
-  check_bool "no violation" false (has_violation r);
-  check_bool "r0=r1=0 reachable under TSO" true
-    (List.mem (0, 0) !outcomes)
+  List.iter
+    (fun strategy ->
+      let outcomes = ref [] in
+      let cfg =
+        C.tso ~preemptions:2 ~delays:4 ()
+        |> C.Config.with_budget ~executions:5_000
+        |> with_strategy strategy
+      in
+      let r = C.check ~config:cfg ~name:"sb-tso" (sb_litmus outcomes) in
+      check_bool "no violation" false (has_violation r);
+      check_bool "r0=r1=0 reachable under TSO" true
+        (List.mem (0, 0) !outcomes))
+    [ C.Naive; C.Dpor ]
 
 let test_sb_unreachable_under_sc () =
-  let outcomes = ref [] in
-  let cfg = { (C.sc ~preemptions:(-1) ()) with C.max_executions = 50_000 } in
-  let r = C.check ~config:cfg ~name:"sb-sc" (sb_litmus outcomes) in
-  check_bool "exhausted" false r.C.truncated;
-  check_bool "no violation" false (has_violation r);
-  check_bool "r0=r1=0 NOT reachable under SC" false
-    (List.mem (0, 0) !outcomes)
+  List.iter
+    (fun strategy ->
+      let outcomes = ref [] in
+      let cfg =
+        C.sc ~preemptions:(-1) ()
+        |> C.Config.with_budget ~executions:50_000
+        |> with_strategy strategy
+      in
+      let r = C.check ~config:cfg ~name:"sb-sc" (sb_litmus outcomes) in
+      check_bool "exhausted" false r.C.truncated;
+      check_bool "no violation" false (has_violation r);
+      check_bool "r0=r1=0 NOT reachable under SC" false
+        (List.mem (0, 0) !outcomes))
+    [ C.Naive; C.Dpor ]
 
 let mp_litmus outcomes () =
   (* message passing: under TSO (FIFO store buffers) the reader cannot
@@ -121,15 +178,143 @@ let mp_litmus outcomes () =
   ]
 
 let test_mp_forbidden_under_tso () =
-  let outcomes = ref [] in
-  let cfg =
-    { (C.tso ~preemptions:(-1) ~delays:(-1) ()) with C.max_executions = 30_000 }
+  List.iter
+    (fun strategy ->
+      let outcomes = ref [] in
+      let cfg =
+        C.tso ~preemptions:(-1) ~delays:(-1) ()
+        |> C.Config.with_budget ~executions:30_000
+        |> with_strategy strategy
+      in
+      let r = C.check ~config:cfg ~name:"mp-tso" (mp_litmus outcomes) in
+      check_bool "no violation" false (has_violation r);
+      check_bool "saw the message" true (List.mem (1, 42) !outcomes);
+      check_bool "flag never outruns data (FIFO buffers)" false
+        (List.mem (1, 0) !outcomes))
+    [ C.Naive; C.Dpor ]
+
+(* ---------- qcheck differential: DPOR vs naive DFS ---------- *)
+
+(* Random straight-line programs over a few shared refs. No
+   cs_enter/cs_exit here: the monitor counter is deliberately invisible
+   to dependence tracking (DESIGN.md), so naked monitor calls without a
+   bracketing data race are exactly the shape DPOR is allowed to
+   collapse. What must agree between the strategies is everything
+   observable: the verdict and the set of reachable final states. *)
+type rand_op =
+  | Load of int
+  | Store of int * int
+  | RStore of int * int (* relaxed: buffered under TSO *)
+  | Cas of int * int * int
+  | Faa of int
+
+let op_gen nrefs =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun r -> Load r) (int_bound (nrefs - 1)));
+        ( 3,
+          map2 (fun r v -> Store (r, v)) (int_bound (nrefs - 1)) (int_bound 3)
+        );
+        ( 2,
+          map2
+            (fun r v -> RStore (r, v))
+            (int_bound (nrefs - 1))
+            (int_bound 3) );
+        ( 2,
+          map3
+            (fun r e d -> Cas (r, e, d))
+            (int_bound (nrefs - 1))
+            (int_bound 3) (int_bound 3) );
+        (2, map (fun r -> Faa r) (int_bound (nrefs - 1)));
+      ])
+
+let prog_gen =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun nthreads ->
+    int_range 2 4 >>= fun nrefs ->
+    list_size (return nthreads)
+      (list_size (int_range 2 3) (op_gen nrefs))
+    >>= fun prog -> return (nrefs, prog))
+
+let prog_print (nrefs, prog) =
+  let op_str = function
+    | Load r -> Printf.sprintf "load r%d" r
+    | Store (r, v) -> Printf.sprintf "store r%d %d" r v
+    | RStore (r, v) -> Printf.sprintf "rstore r%d %d" r v
+    | Cas (r, e, d) -> Printf.sprintf "cas r%d %d->%d" r e d
+    | Faa r -> Printf.sprintf "faa r%d" r
   in
-  let r = C.check ~config:cfg ~name:"mp-tso" (mp_litmus outcomes) in
-  check_bool "no violation" false (has_violation r);
-  check_bool "saw the message" true (List.mem (1, 42) !outcomes);
-  check_bool "flag never outruns data (FIFO buffers)" false
-    (List.mem (1, 0) !outcomes)
+  Printf.sprintf "%d refs; %s" nrefs
+    (String.concat " || "
+       (List.map
+          (fun ops -> String.concat "; " (List.map op_str ops))
+          prog))
+
+let prog_arb = QCheck.make ~print:prog_print prog_gen
+
+let scenario_of (nrefs, prog) outcomes () =
+  let refs =
+    Array.init nrefs (fun i ->
+        V.make ~name:(Printf.sprintf "r%d" i) 0)
+  in
+  let ndone = ref 0 in
+  let nthreads = List.length prog in
+  let run_op = function
+    | Load r -> ignore (V.load refs.(r))
+    | Store (r, v) -> V.store refs.(r) v
+    | RStore (r, v) ->
+        V.store ~o:Clof_atomics.Memory_order.Relaxed refs.(r) v
+    | Cas (r, e, d) -> ignore (V.cas refs.(r) ~expected:e ~desired:d)
+    | Faa r -> ignore (V.fetch_add refs.(r) 1)
+  in
+  List.map
+    (fun ops () ->
+      List.iter run_op ops;
+      incr ndone;
+      if !ndone = nthreads then
+        outcomes :=
+          List.init nrefs (fun i -> V.committed refs.(i)) :: !outcomes)
+    prog
+
+let differential mode prog =
+  let explore strategy =
+    let outcomes = ref [] in
+    let cfg =
+      (match mode with
+      | Vstate.Sc -> C.sc ~preemptions:(-1) ()
+      | Vstate.Tso -> C.tso ~preemptions:(-1) ~delays:(-1) ())
+      |> C.Config.with_budget ~executions:400_000
+      |> with_strategy strategy
+    in
+    let r = C.check ~config:cfg ~name:"diff" (scenario_of prog outcomes) in
+    (r, List.sort_uniq compare !outcomes)
+  in
+  let rn, states_n = explore C.Naive in
+  let rd, states_d = explore C.Dpor in
+  if rn.C.truncated || rd.C.truncated then true
+    (* budget blown: nothing comparable was proven either way *)
+  else if violation_kind rn <> violation_kind rd then
+    QCheck.Test.fail_reportf "verdicts differ: naive %s, dpor %s"
+      (violation_kind rn) (violation_kind rd)
+  else if rd.C.executions > rn.C.executions then
+    QCheck.Test.fail_reportf "dpor explored more: %d > %d" rd.C.executions
+      rn.C.executions
+  else if mode = Vstate.Sc && states_n <> states_d then
+    QCheck.Test.fail_reportf
+      "reachable final states differ (naive %d, dpor %d)"
+      (List.length states_n) (List.length states_d)
+  else true
+
+let test_differential_sc =
+  QCheck.Test.make ~name:"dpor = naive on random programs (SC)" ~count:40
+    prog_arb
+    (differential Vstate.Sc)
+
+let test_differential_tso =
+  QCheck.Test.make ~name:"dpor = naive on random programs (TSO)" ~count:20
+    prog_arb
+    (differential Vstate.Tso)
 
 (* ---------- paper scenarios ---------- *)
 
@@ -187,14 +372,48 @@ let test_induction_step () =
         false (has_violation r))
     [ Vstate.Sc; Vstate.Tso ]
 
+(* Acceptance (ISSUE 5): on the depth-2 induction step DPOR must agree
+   with the oracle while exploring at least 5x fewer schedules, and the
+   depth-3 step must complete non-truncated within the default
+   budget. *)
+let test_dpor_speedup_depth2 () =
+  let run strategy =
+    S.run (S.induction_step ~depth:2 ~strategy ~mode:Vstate.Sc ())
+  in
+  let rn = run C.Naive and rd = run C.Dpor in
+  Alcotest.(check string)
+    "same verdict" (violation_kind rn) (violation_kind rd);
+  check_bool
+    (Printf.sprintf "dpor >= 5x fewer executions (naive %d, dpor %d)"
+       rn.C.executions rd.C.executions)
+    true
+    (rn.C.executions >= 5 * rd.C.executions)
+
+let test_dpor_depth3_completes () =
+  let r = S.run (S.induction_step ~depth:3 ~mode:Vstate.Sc ()) in
+  check_bool "clean" false (has_violation r);
+  check_bool
+    (Printf.sprintf "not truncated (%d executions)" r.C.executions)
+    false r.C.truncated
+
 let test_peterson_exhibit () =
-  let good = S.run (S.peterson ~fenced:true ~mode:Vstate.Tso) in
+  let good = S.run (S.peterson ~fenced:true ~mode:Vstate.Tso ()) in
   check_bool "fenced peterson survives TSO" false (has_violation good);
-  let bad = S.run (S.peterson ~fenced:false ~mode:Vstate.Tso) in
+  let bad = S.run (S.peterson ~fenced:false ~mode:Vstate.Tso ()) in
   Alcotest.(check string)
     "unfenced peterson broken under TSO" "property" (violation_kind bad);
-  let sc = S.run (S.peterson ~fenced:false ~mode:Vstate.Sc) in
+  let sc = S.run (S.peterson ~fenced:false ~mode:Vstate.Sc ()) in
   check_bool "unfenced peterson fine under SC" false (has_violation sc)
+
+(* The exhibit must also fail under the oracle: if the two strategies
+   ever disagree here, one of them is broken. *)
+let test_peterson_exhibit_naive () =
+  let bad =
+    S.run (S.peterson ~strategy:C.Naive ~fenced:false ~mode:Vstate.Tso ())
+  in
+  Alcotest.(check string)
+    "unfenced peterson broken under TSO (naive)" "property"
+    (violation_kind bad)
 
 let test_unknown_lock () =
   check_bool "unknown" true (S.base_step ~mode:Vstate.Sc "bogus" = None)
@@ -208,13 +427,90 @@ let test_scaling_grows () =
     (fun (_, r) -> check_bool "clean" false (has_violation r))
     results
 
+(* ---------- the suite ---------- *)
+
+let test_suite_covers_registry () =
+  let entries = S.suite () in
+  let base_names =
+    List.filter_map
+      (fun e ->
+        if e.S.e_group = S.Base then Some e.S.e_named.S.sname else None)
+      entries
+  in
+  (* every registered lock appears under both SC and TSO *)
+  List.iter
+    (fun lock ->
+      List.iter
+        (fun tag ->
+          let prefix = Printf.sprintf "base/%s " lock in
+          let suffix = Printf.sprintf "[%s]" tag in
+          let np = String.length prefix and ns = String.length suffix in
+          check_bool
+            (Printf.sprintf "%s under %s" lock tag)
+            true
+            (List.exists
+               (fun n ->
+                 String.length n >= np + ns
+                 && String.sub n 0 np = prefix
+                 && String.sub n (String.length n - ns) ns = suffix)
+               base_names))
+        [ "sc"; "tso" ])
+    [ "tkt"; "mcs"; "clh"; "hem"; "tas"; "ttas"; "bo" ];
+  (* quick drops the depth-3 induction entry but nothing else *)
+  check_int "quick suite is one entry shorter"
+    (List.length entries - 1)
+    (List.length (S.suite ~quick:true ()))
+
+let test_run_suite_judges () =
+  (* a tiny suite slice: one clean scenario, one exhibit *)
+  let entries =
+    List.filter
+      (fun e ->
+        e.S.e_named.S.sname = "peterson-nofence [tso]"
+        || e.S.e_named.S.sname = "base/tkt 3T x2 [sc]")
+      (S.suite ())
+  in
+  check_int "found both" 2 (List.length entries);
+  let outcomes = S.run_suite entries in
+  List.iter
+    (fun o -> check_bool (o.S.o_entry.S.e_named.S.sname ^ " ok") true o.S.o_ok)
+    outcomes
+
+(* ---------- Config builder ---------- *)
+
+let test_config_builder () =
+  let c =
+    C.Config.make ~mode:Vstate.Tso ()
+    |> C.Config.with_preemptions 7 |> C.Config.with_delays 5
+    |> C.Config.with_strategy C.Naive
+    |> C.Config.with_budget ~executions:123 ~steps:456
+  in
+  check_bool "mode" true (C.Config.mode c = Vstate.Tso);
+  check_int "preemptions" 7 (C.Config.preemptions c);
+  check_int "delays" 5 (C.Config.delays c);
+  check_bool "strategy" true (C.Config.strategy c = C.Naive);
+  check_int "executions" 123 (C.Config.max_executions c);
+  check_int "steps" 456 (C.Config.max_steps c);
+  (* wrappers agree with the builder *)
+  let s = C.sc ~preemptions:3 () in
+  check_bool "sc mode" true (C.Config.mode s = Vstate.Sc);
+  check_int "sc preemptions" 3 (C.Config.preemptions s);
+  check_bool "default strategy is DPOR" true
+    (C.Config.strategy C.default = C.Dpor);
+  let t = C.tso ~preemptions:1 ~delays:9 () in
+  check_bool "tso mode" true (C.Config.mode t = Vstate.Tso);
+  check_int "tso delays" 9 (C.Config.delays t)
+
 (* ---------- checker internals ---------- *)
 
 let test_report_counts () =
   let scenario () = [ (fun () -> V.store (V.make ~name:"x" 0) 1) ] in
   let r = C.check ~name:"tiny" scenario in
   check_int "one schedule for one thread" 1 r.C.executions;
-  check_bool "steps counted" true (r.C.steps >= 1)
+  check_bool "steps counted" true (r.C.steps >= 1);
+  check_bool "strategy recorded" true (r.C.strategy = C.Dpor);
+  check_int "complete" 1 r.C.complete;
+  check_int "no races for one thread" 0 r.C.races
 
 let test_runaway_detection () =
   let scenario () =
@@ -231,7 +527,7 @@ let test_runaway_detection () =
         go ());
     ]
   in
-  let cfg = { C.default with C.max_steps = 50 } in
+  let cfg = C.Config.with_budget ~steps:50 C.default in
   let r = C.check ~config:cfg ~name:"spin" scenario in
   check_bool "caught" true
     (violation_kind r = "runaway" || violation_kind r = "deadlock")
@@ -245,6 +541,8 @@ let () =
           Alcotest.test_case "ABBA deadlock" `Quick test_finds_deadlock;
           Alcotest.test_case "lost wakeup" `Quick test_finds_lost_wakeup;
           Alcotest.test_case "assertion" `Quick test_finds_assertion;
+          Alcotest.test_case "abandoned holder" `Quick
+            test_dpor_finds_abandoned_holder;
         ] );
       ( "litmus",
         [
@@ -255,18 +553,37 @@ let () =
           Alcotest.test_case "MP forbidden under TSO" `Quick
             test_mp_forbidden_under_tso;
         ] );
+      ( "differential",
+        [
+          qcheck test_differential_sc;
+          qcheck test_differential_tso;
+        ] );
       ( "paper",
         [
           Alcotest.test_case "base steps (SC)" `Slow test_base_steps_sc;
           Alcotest.test_case "base steps (TSO)" `Slow test_base_steps_tso;
           Alcotest.test_case "induction step" `Slow test_induction_step;
+          Alcotest.test_case "dpor 5x on depth 2" `Slow
+            test_dpor_speedup_depth2;
+          Alcotest.test_case "dpor completes depth 3" `Slow
+            test_dpor_depth3_completes;
           Alcotest.test_case "abort steps" `Slow test_abort_steps;
           Alcotest.test_case "abort induction" `Slow test_abort_induction;
           Alcotest.test_case "peterson exhibit" `Quick
             test_peterson_exhibit;
+          Alcotest.test_case "peterson exhibit (naive)" `Slow
+            test_peterson_exhibit_naive;
           Alcotest.test_case "unknown lock" `Quick test_unknown_lock;
           Alcotest.test_case "scaling grows" `Slow test_scaling_grows;
         ] );
+      ( "suite",
+        [
+          Alcotest.test_case "covers the registry" `Quick
+            test_suite_covers_registry;
+          Alcotest.test_case "judges outcomes" `Slow test_run_suite_judges;
+        ] );
+      ( "config",
+        [ Alcotest.test_case "builder" `Quick test_config_builder ] );
       ( "internals",
         [
           Alcotest.test_case "report counts" `Quick test_report_counts;
