@@ -82,15 +82,106 @@ let pp_verify label (r : Report.t) =
       end)
     r.experiments
 
-(* verify series carry checker counters in the point slots, not
-   benchmark numbers; comparing them across runs would gate on
-   wall-clock. Strip them before the join. *)
+(* Cross-validation results from a native report (clof_bench xval),
+   decoded from the slot encoding documented in Xval: the coefficient
+   series pack the rank correlation into [throughput] (threads = 0 is
+   the overall HC-score slot; total_ops = 0 marks an undefined
+   coefficient), and every lock appears twice — native under its own
+   name, simulated under "<lock>/sim". Printed only: native throughput
+   is wall clock on whatever runner produced it, and the correlation is
+   already gated by clof_bench xval --min-corr. *)
+let has_xval (r : Report.t) =
+  List.exists
+    (fun (e : Report.experiment) -> e.Report.exp_id = "xval")
+    r.experiments
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let pp_xval label (r : Report.t) =
+  List.iter
+    (fun (e : Report.experiment) ->
+      if e.Report.exp_id = "xval" then begin
+        Printf.printf "bench_check: %s cross-validation (%s, %s):\n" label
+          e.Report.platform e.Report.workload;
+        let pp_coefs name =
+          match
+            List.find_opt
+              (fun (s : Report.series) -> s.Report.lock = "xval/" ^ name)
+              e.Report.series
+          with
+          | None -> ()
+          | Some s ->
+              List.iter
+                (fun (p : Report.point) ->
+                  let v =
+                    if p.Report.total_ops = 0 then "n/a (ties)"
+                    else Printf.sprintf "%+.3f" p.Report.throughput
+                  in
+                  if p.Report.threads = 0 then
+                    Printf.printf
+                      "  %-8s overall HC-score ordering (%d locks): %s\n"
+                      name p.Report.total_ops v
+                  else
+                    Printf.printf "  %-8s %3d threads: %s\n" name
+                      p.Report.threads v)
+                s.Report.points
+        in
+        pp_coefs "spearman";
+        pp_coefs "kendall";
+        (* per-composition backend deltas: native wall-clock ops/us
+           next to the simulator's ops per simulated us — different
+           clocks, so only the across-locks ordering means anything *)
+        List.iter
+          (fun (s : Report.series) ->
+            if
+              (not (starts_with ~prefix:"xval/" s.Report.lock))
+              && not (ends_with ~suffix:"/sim" s.Report.lock)
+            then
+              match
+                List.find_opt
+                  (fun (s' : Report.series) ->
+                    s'.Report.lock = s.Report.lock ^ "/sim")
+                  e.Report.series
+              with
+              | None -> ()
+              | Some sim ->
+                  List.iter
+                    (fun (p : Report.point) ->
+                      match
+                        List.find_opt
+                          (fun (q : Report.point) ->
+                            q.Report.threads = p.Report.threads)
+                          sim.Report.points
+                      with
+                      | None -> ()
+                      | Some q ->
+                          Printf.printf
+                            "  %-16s %3dT: native %9.4f ops/us (wall)  \
+                             sim %9.4f ops/us\n"
+                            s.Report.lock p.Report.threads
+                            p.Report.throughput q.Report.throughput)
+                    s.Report.points)
+          e.Report.series
+      end)
+    r.experiments
+
+(* verify series carry checker counters in the point slots, and xval
+   series carry native wall-clock numbers and packed coefficients —
+   none of it is a benchmark result; comparing either across runs
+   would gate on wall-clock. Strip both before the join. *)
 let gateable (r : Report.t) =
   {
     r with
     Report.experiments =
       List.filter
-        (fun (e : Report.experiment) -> e.Report.exp_id <> "verify")
+        (fun (e : Report.experiment) ->
+          e.Report.exp_id <> "verify" && e.Report.exp_id <> "xval")
         r.experiments;
   }
 
@@ -104,6 +195,8 @@ let check baseline current max_drop max_jain_drop min_jain require_all =
       pp_meta "current" cur;
       if has_verify cur then pp_verify "current" cur
       else if has_verify base then pp_verify "baseline" base;
+      if has_xval cur then pp_xval "current" cur
+      else if has_xval base then pp_xval "baseline" base;
       let base = gateable base and cur = gateable cur in
       let cur_points = flatten cur in
       let find key =

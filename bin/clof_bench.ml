@@ -146,6 +146,39 @@ let verify quick jobs naive out =
                           .Clof_verify.Scenarios.sname)
                       bad)) ))
 
+let xval quick jobs out min_corr =
+  set_jobs jobs;
+  match Clof_harness.Xval.run ~quick () with
+  | exception Clof_native.Native.Lock_failure msg ->
+      `Error (false, "native backend: " ^ msg)
+  | exception Clof_workloads.Workload.Lock_failure msg ->
+      `Error (false, "simulated backend: " ^ msg)
+  | x -> (
+      Clof_harness.Xval.pp Format.std_formatter x;
+      Format.pp_print_flush Format.std_formatter ();
+      let doc =
+        Clof_harness.Report.to_string (Clof_harness.Xval.to_report ~quick x)
+      in
+      match
+        let oc = open_out out in
+        Fun.protect
+          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+          (fun () ->
+            output_string oc doc;
+            close_out oc)
+      with
+      | exception Sys_error msg -> `Error (false, msg)
+      | () -> (
+          Printf.printf "wrote %s (schema v%d)\n" out
+            Clof_harness.Report.schema_version;
+          (* gate on the rank correlation only: absolute native
+             throughput is wall clock on whatever machine this is *)
+          match Clof_harness.Xval.gate ?min_corr x with
+          | [] -> `Ok ()
+          | bad ->
+              `Error
+                (false, "xval gate: " ^ String.concat "; " bad)))
+
 let faults_gate quick jobs =
   set_jobs jobs;
   Clof_harness.Experiments.set_quick quick;
@@ -268,6 +301,35 @@ let verify_cmd =
     (Cmd.info "verify" ~doc)
     Term.(ret (const verify $ quick $ jobs_arg $ naive $ out))
 
+let xval_cmd =
+  let doc =
+    "Cross-validate the simulator against real OCaml domains: run the \
+     scripted lock panel on both backends on this machine (the \
+     simulator configured with the detected host topology) and report \
+     the rank correlation between the two throughput orderings. \
+     Absolute native numbers are wall clock and never gate; with \
+     $(b,--min-corr) the overall Spearman coefficient does."
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_native.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let min_corr =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-corr" ] ~docv:"RHO"
+          ~doc:
+            "Fail unless the overall Spearman rank correlation between \
+             the simulated and native lock orderings is at least \
+             $(docv) (the CI cross-validation gate).")
+  in
+  Cmd.v
+    (Cmd.info "xval" ~doc)
+    Term.(ret (const xval $ quick $ jobs_arg $ out $ min_corr))
+
 let faults_cmd =
   let doc =
     "Run the fault-injection matrix and fail if any fair lock wedges \
@@ -285,6 +347,6 @@ let main =
   Cmd.group
     ~default:Term.(ret (const run_ids $ quick $ jobs_arg $ ids_arg))
     (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
-    [ run_cmd; list_cmd; report_cmd; sim_cmd; verify_cmd; faults_cmd ]
+    [ run_cmd; list_cmd; report_cmd; sim_cmd; verify_cmd; xval_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -14,8 +14,9 @@ module type S = sig
   val make : ?node:int -> ?name:string -> 'a -> 'a aref
   (** [make v] allocates a fresh location holding [v]. [node] is a NUMA
       placement hint (the simulator homes the line there); [name] labels
-      the location in checker traces. Both are ignored by the
-      real-memory backend. *)
+      the location in checker traces. The real-memory backend pads each
+      location to its own cache line but honors neither hint (see
+      {!Real_mem} for exactly which hints are no-ops there). *)
 
   val colocated : 'b aref -> ?name:string -> 'a -> 'a aref
   (** Allocate on the {e same cache line} as an existing location — how

@@ -758,6 +758,10 @@ let discover ppf () =
         (Topology.hierarchy_to_string (Heatmap.infer_hierarchy h)))
     [ Platform.x86; Platform.armv8 ]
 
+(* The only experiment whose results depend on the machine running it:
+   both legs execute on (a model of) the host, not a paper preset. *)
+let xval_exp ppf () = Xval.pp ppf (Xval.run ~quick:!quick ())
+
 let ids =
   [
     ("table1", "aspect coverage of NUMA-aware locks (Table 1)");
@@ -784,6 +788,7 @@ let ids =
     ("scripted", "2-level scripted sweep with HC/LC ranking (4.3)");
     ("sim-throughput", "engine events/sec + allocs/event (wall clock)");
     ("discover", "automated hierarchy inference (Figure 5)");
+    ("xval", "sim-vs-native rank correlation on this host (native domains)");
   ]
 
 let run ppf = function
@@ -811,6 +816,7 @@ let run ppf = function
   | "scripted" -> scripted_exp ppf (); true
   | "sim-throughput" -> sim_throughput ppf (); true
   | "discover" -> discover ppf (); true
+  | "xval" -> xval_exp ppf (); true
   | _ -> false
 
 let run_all ppf =

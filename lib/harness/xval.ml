@@ -1,0 +1,344 @@
+(* Sim-vs-native cross-validation (`clof_bench xval`).
+ *
+ * The paper's core claim is that benchmark-driven selection finds the
+ * best lock *on the machine you have*. This experiment does exactly
+ * that, twice, on the same machine: the scripted composition sweep
+ * runs once on the discrete-event simulator configured with the
+ * host's own detected topology (the "simulate the machine you have"
+ * leg) and once natively on real OCaml domains pinned to the host's
+ * cores — same lock sources through the same MEMORY abstraction, same
+ * per-thread workload loop (Workload.thread_body), same thread
+ * placement (Topology.pick_cpus). Absolute numbers are incomparable
+ * (simulated ns vs wall ns), so the deliverable is the *rank
+ * correlation* (Spearman rho / Kendall tau-b, Clof_stats.Rank)
+ * between the two backends' throughput orderings, per contention
+ * level and overall on the HC selection score.
+ *
+ * Report encoding (BENCH_native.json, decoded by bench_check): one
+ * "xval" experiment whose series are
+ *   "<lock>"          native points (throughput = ops per wall us,
+ *                     sim_ns = measured wall ns)
+ *   "<lock>/sim"      the matching simulator points
+ *   "xval/spearman",
+ *   "xval/kendall"    one point per thread count carrying the
+ *                     coefficient in [throughput] and the number of
+ *                     locks correlated in [total_ops] (0 = undefined,
+ *                     e.g. all-tied input); the [threads = 0] slot is
+ *                     the overall coefficient on HC scores
+ * The whole experiment is excluded from bench_check's regression join
+ * (native wall clock on shared runners must never gate), mirroring
+ * how the verify statistics are handled. *)
+
+open Clof_topology
+module RT = Clof_core.Runtime
+module Sel = Clof_core.Selection
+module W = Clof_workloads.Workload
+module Rank = Clof_stats.Rank
+module Native = Clof_native.Native
+
+(* The same lock panel, instantiated over either memory backend. Both
+   instantiations produce identical spec-name lists, which is what the
+   series join relies on: names come from the lock modules themselves,
+   and the functors are applied to backends over identical registry
+   contents. *)
+module Panel (M : Clof_atomics.Memory_intf.S) = struct
+  module R = Clof_locks.Registry.Make (M)
+  module G = Clof_core.Generator.Make (M)
+  module H = Clof_baselines.Hmcs.Make (M)
+
+  (* Quick mode keeps the spread that makes the ranking meaningful on
+     a small host: all seven flat locks (the unfair TAS family
+     collapses under contention on both backends — easy rank signal)
+     plus four heterogeneous compositions and the HMCS baseline. *)
+  let quick_compositions = [ "tkt-tkt"; "mcs-mcs"; "clh-tkt"; "hem-mcs" ]
+
+  let specs ~quick ~ctr ~hierarchy ~with_hmcs =
+    let basics = R.basics ~ctr in
+    let flats = List.map RT.of_basic (R.all ~ctr) in
+    let comps =
+      if quick then
+        List.filter_map (fun n -> G.of_name ~basics n) quick_compositions
+      else G.generate ~basics ~depth:2
+    in
+    flats
+    @ List.map (fun c -> RT.of_clof ~hierarchy c) comps
+    @ (if with_hmcs then [ H.spec ~hierarchy () ] else [])
+end
+
+module SimPanel = Panel (Clof_sim.Sim_mem)
+module NatPanel = Panel (Clof_atomics.Real_mem)
+
+type t = {
+  platform : Platform.t;  (** the host, also the simulator's machine *)
+  hierarchy : Topology.hierarchy;
+  threadcounts : int list;
+  locks : string list;
+  sim_results : (string * (int * W.result) list) list;
+  native_results : (string * (int * Native.result) list) list;
+  per_thread : (int * float option * float option) list;
+      (** (threads, spearman, kendall) across locks at one contention
+          level *)
+  overall : float option * float option;
+      (** (spearman, kendall) of the HC selection scores — the ranking
+          the paper's selection policy actually consumes *)
+  pinned : bool;
+}
+
+(* Contention levels: powers of two up to the machine, always
+   including the full machine; quick mode keeps only the uncontended
+   and fully-contended endpoints. *)
+let thread_grid ~quick ncpus =
+  if quick then List.sort_uniq compare [ 1; ncpus ]
+  else begin
+    let rec go n acc = if n >= ncpus then acc else go (2 * n) (n :: acc) in
+    List.sort_uniq compare (ncpus :: go 1 [])
+  end
+
+(* (lock, (threads, throughput) list) projections of the two result
+   sets — the common shape rank correlation and selection scoring
+   consume. *)
+let sim_tp results =
+  List.map
+    (fun (l, pts) ->
+      (l, List.map (fun (n, (r : W.result)) -> (n, r.W.throughput)) pts))
+    results
+
+let native_tp results =
+  List.map
+    (fun (l, pts) ->
+      ( l,
+        List.map
+          (fun (n, (r : Native.result)) -> (n, r.Native.throughput))
+          pts ))
+    results
+
+let series_of tps = List.map (fun (lock, points) -> { Sel.lock; points }) tps
+let sim_series t = series_of (sim_tp t.sim_results)
+let native_series t = series_of (native_tp t.native_results)
+let correlate xs ys = (Rank.spearman xs ys, Rank.kendall xs ys)
+
+let run ?(quick = false) ?duration_ms ?platform () =
+  let platform =
+    match platform with Some p -> p | None -> Clof_native.Hosttopo.detect ()
+  in
+  let topo = platform.Platform.topo in
+  let ncpus = Topology.ncpus topo in
+  let hierarchy = Clof_native.Hosttopo.hierarchy platform in
+  let ctr = Scripted.ctr_for platform in
+  let threadcounts = thread_grid ~quick ncpus in
+  let duration_ms =
+    match duration_ms with Some d -> d | None -> if quick then 40 else 250
+  in
+  let params =
+    if quick then { W.leveldb with W.duration = 150_000 } else W.leveldb
+  in
+  (* HMCS requires every level to discriminate (>= 2 cohorts); on a
+     degenerate host (one core, or no level grouping several multi-CPU
+     cohorts) the leaf collapses to a single cohort and the baseline
+     is skipped — CLoF compositions tolerate the degenerate level. *)
+  let with_hmcs = Topology.ncohorts topo (List.hd hierarchy) > 1 in
+  let specs_sim = SimPanel.specs ~quick ~ctr ~hierarchy ~with_hmcs in
+  let specs_nat = NatPanel.specs ~quick ~ctr ~hierarchy ~with_hmcs in
+  let names = List.map (fun s -> s.RT.s_name) specs_sim in
+  if names <> List.map (fun s -> s.RT.s_name) specs_nat then
+    invalid_arg "Xval.run: backend panels disagree on lock names";
+  (* simulated leg: deterministic independent jobs, fanned out on the
+     default executor like every other sweep *)
+  let sim_rows =
+    Clof_exec.Exec.product_map
+      (fun spec n -> (n, W.run ~platform ~nthreads:n ~spec params))
+      specs_sim threadcounts
+  in
+  let sim_results = List.combine names sim_rows in
+  (* native leg: strictly sequential — each run saturates the machine,
+     so overlapping two would measure executor interference *)
+  let native_results =
+    List.combine names
+      (List.map
+         (fun spec ->
+           List.map
+             (fun n ->
+               (n, Native.run ~platform ~duration_ms ~nthreads:n ~spec params))
+             threadcounts)
+         specs_nat)
+  in
+  let stp = sim_tp sim_results and ntp = native_tp native_results in
+  let tp_at tps n =
+    Array.of_list (List.map (fun (_, points) -> List.assoc n points) tps)
+  in
+  let per_thread =
+    List.map
+      (fun n ->
+        let rho, tau = correlate (tp_at stp n) (tp_at ntp n) in
+        (n, rho, tau))
+      threadcounts
+  in
+  let overall =
+    let score tps =
+      Array.of_list
+        (List.map
+           (fun (_, points) -> Sel.score Sel.High_contention points)
+           tps)
+    in
+    correlate (score stp) (score ntp)
+  in
+  {
+    platform;
+    hierarchy;
+    threadcounts;
+    locks = names;
+    sim_results;
+    native_results;
+    per_thread;
+    overall;
+    pinned =
+      List.for_all
+        (fun (_, pts) -> List.for_all (fun (_, r) -> r.Native.pinned) pts)
+        native_results;
+  }
+
+(* ---------- gate ---------- *)
+
+let gate ?min_corr t =
+  match min_corr with
+  | None -> []
+  | Some floor -> (
+      match fst t.overall with
+      | None ->
+          [
+            Printf.sprintf
+              "overall rank correlation undefined (all-tied scores over %d \
+               locks)"
+              (List.length t.locks);
+          ]
+      | Some rho when rho < floor ->
+          [
+            Printf.sprintf
+              "overall spearman %.3f below floor %.3f (%d locks, %d \
+               contention levels)"
+              rho floor (List.length t.locks)
+              (List.length t.threadcounts);
+          ]
+      | Some _ -> [])
+
+(* ---------- report plumbing ---------- *)
+
+let native_point ~threads (r : Native.result) =
+  {
+    Report.threads;
+    throughput = r.Native.throughput;
+    total_ops = r.Native.total_ops;
+    sim_ns = r.Native.wall_ns;
+    jain = Report.jain r.Native.per_thread;
+    stats = r.Native.stats;
+  }
+
+let corr_point ~threads ~nlocks coef =
+  {
+    Report.threads;
+    throughput = (match coef with Some c -> c | None -> 0.0);
+    total_ops = (match coef with Some _ -> nlocks | None -> 0);
+    sim_ns = 0;
+    jain = 1.0;
+    stats = Clof_stats.Stats.create ();
+  }
+
+let to_report ?(quick = false) t =
+  let nlocks = List.length t.locks in
+  let native =
+    List.map
+      (fun (lock, pts) ->
+        {
+          Report.lock;
+          points = List.map (fun (n, r) -> native_point ~threads:n r) pts;
+        })
+      t.native_results
+  in
+  let sim =
+    List.map
+      (fun (lock, pts) ->
+        {
+          Report.lock = lock ^ "/sim";
+          points = List.map Report.point_of_result pts;
+        })
+      t.sim_results
+  in
+  let corr pick name =
+    {
+      Report.lock = "xval/" ^ name;
+      points =
+        corr_point ~threads:0 ~nlocks (pick t.overall)
+        :: List.map
+             (fun (n, rho, tau) ->
+               corr_point ~threads:n ~nlocks (pick (rho, tau)))
+             t.per_thread;
+    }
+  in
+  {
+    Report.version = Report.schema_version;
+    quick;
+    meta = None;
+    experiments =
+      [
+        {
+          Report.exp_id = "xval";
+          platform = Topology.name t.platform.Platform.topo;
+          workload =
+            Printf.sprintf "leveldb-xval/%s%s"
+              (Topology.hierarchy_to_string t.hierarchy)
+              (if t.pinned then "" else "/unpinned");
+          series = (corr fst "spearman" :: corr snd "kendall" :: native) @ sim;
+        };
+      ];
+  }
+
+(* ---------- rendering ---------- *)
+
+let pp_coef ppf = function
+  | Some c -> Format.fprintf ppf "%+.3f" c
+  | None -> Format.pp_print_string ppf "  n/a"
+
+let pp ppf t =
+  Format.pp_print_string ppf
+    (Render.section "xval: simulated vs native lock ordering on this machine");
+  Format.fprintf ppf "host: %s (%d CPUs, %s), hierarchy %s, threads %s, %s@."
+    (Topology.name t.platform.Platform.topo)
+    (Topology.ncpus t.platform.Platform.topo)
+    (Platform.arch_to_string t.platform.Platform.arch)
+    (Topology.hierarchy_to_string t.hierarchy)
+    (String.concat "," (List.map string_of_int t.threadcounts))
+    (if t.pinned then "threads pinned"
+     else "threads NOT pinned (no affinity support here)");
+  (* side-by-side throughputs: native is ops per wall us, sim is ops
+     per simulated us — different clocks, hence rank-only *)
+  let header =
+    "lock"
+    :: List.concat_map
+         (fun n ->
+           [ Printf.sprintf "nat/%dT" n; Printf.sprintf "sim/%dT" n ])
+         t.threadcounts
+  in
+  let ntp = native_tp t.native_results and stp = sim_tp t.sim_results in
+  let rows =
+    List.map2
+      (fun (lock, nat_pts) (_, sim_pts) ->
+        ( lock,
+          List.concat_map
+            (fun n -> [ List.assoc n nat_pts; List.assoc n sim_pts ])
+            t.threadcounts ))
+      ntp stp
+  in
+  Format.pp_print_string ppf (Render.table ~header ~rows);
+  List.iter
+    (fun (n, rho, tau) ->
+      Format.fprintf ppf "%3d threads: spearman %a  kendall %a@." n pp_coef
+        rho pp_coef tau)
+    t.per_thread;
+  let rho, tau = t.overall in
+  Format.fprintf ppf "HC-score ordering (%d locks): spearman %a  kendall %a@."
+    (List.length t.locks) pp_coef rho pp_coef tau;
+  let name_of = function Some s -> s.Sel.lock | None -> "-" in
+  let nat_best = name_of (Sel.best Sel.High_contention (native_series t))
+  and sim_best = name_of (Sel.best Sel.High_contention (sim_series t)) in
+  Format.fprintf ppf "HC-best: native %s, simulated %s%s@." nat_best sim_best
+    (if nat_best = sim_best then " (agree)" else "")

@@ -1,0 +1,80 @@
+(** Cross-validation of the simulator against the native backend
+    ([clof_bench xval]): run the scripted composition x threadcount
+    sweep on both backends {e on this machine} — the simulator
+    configured with the host's detected topology
+    ({!Clof_native.Hosttopo.detect}), the native runner on real pinned
+    domains — and report the rank correlation between the two
+    throughput orderings. Absolute numbers live in different clocks
+    (simulated ns vs wall ns) and are never compared; only the ordering
+    of locks is, which is also all the paper's selection policy
+    consumes. *)
+
+type t = {
+  platform : Clof_topology.Platform.t;
+      (** the host, which is also the simulated machine *)
+  hierarchy : Clof_topology.Topology.hierarchy;
+  threadcounts : int list;
+  locks : string list;  (** panel, same names on both backends *)
+  sim_results :
+    (string * (int * Clof_workloads.Workload.result) list) list;
+  native_results : (string * (int * Clof_native.Native.result) list) list;
+  per_thread : (int * float option * float option) list;
+      (** per contention level: (threads, Spearman rho, Kendall tau-b)
+          across the lock panel; [None] = undefined (ties) *)
+  overall : float option * float option;
+      (** (rho, tau) of the HC selection scores — agreement of the
+          ranking {!Clof_core.Selection} actually consumes *)
+  pinned : bool;
+      (** every native thread of every run was pinned; [false] numbers
+          still rank but carry no topology meaning *)
+}
+
+val run :
+  ?quick:bool ->
+  ?duration_ms:int ->
+  ?platform:Clof_topology.Platform.t ->
+  unit ->
+  t
+(** Run both legs. [quick] (default false) shrinks the panel to the
+    seven flat locks + four fixed depth-2 compositions + HMCS, the
+    thread grid to [{1, ncpus}] and the native window to 40 ms — the CI
+    configuration; the full run uses all 16 depth-2 compositions,
+    power-of-two thread counts and 250 ms windows. [duration_ms]
+    overrides the native measurement window. [platform] overrides host
+    detection (tests pass a small synthetic machine). The simulated leg
+    fans out on {!Clof_exec.Exec}; the native leg always runs
+    sequentially, each run owning the whole machine.
+
+    @raise Clof_native.Native.Lock_failure on a native mutual-exclusion violation.
+    @raise Clof_workloads.Workload.Lock_failure on a simulated hang. *)
+
+val thread_grid : quick:bool -> int -> int list
+(** Contention levels for a host of the given CPU count (exposed for
+    tests): quick = the endpoints [{1, ncpus}]; full = powers of two
+    plus the full machine. *)
+
+val sim_series : t -> Clof_core.Selection.series list
+val native_series : t -> Clof_core.Selection.series list
+(** The two orderings as selection series (throughput per thread
+    count), ready for {!Clof_core.Selection.rank}. *)
+
+val gate : ?min_corr:float -> t -> string list
+(** Violation messages for CI: empty without [min_corr]; with it, one
+    message when the overall Spearman rho is undefined or below the
+    floor. Per-thread coefficients and absolute throughputs never
+    gate. *)
+
+val to_report : ?quick:bool -> t -> Report.t
+(** Encode as one ["xval"] experiment in the standard {!Report} schema
+    (written to [BENCH_native.json]): native series under the lock
+    name ([sim_ns] = wall ns), simulated series under ["<lock>/sim"],
+    and the coefficients packed into ["xval/spearman"] /
+    ["xval/kendall"] series — [threads] = contention level (0 = the
+    overall HC-score coefficient), [throughput] = coefficient,
+    [total_ops] = panel size ([0] marks an undefined coefficient).
+    [bench_check] decodes these and excludes the whole experiment from
+    the regression join. *)
+
+val pp : Format.formatter -> t -> unit
+(** Side-by-side throughput table, per-level and overall coefficients,
+    and whether the two backends agree on the HC-best lock. *)

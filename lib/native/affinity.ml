@@ -1,0 +1,4 @@
+external pin_current : int -> bool = "clof_pin_current"
+external available : unit -> bool = "clof_pinning_available"
+
+let available = available ()

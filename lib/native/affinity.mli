@@ -1,0 +1,16 @@
+(** Pin the calling systhread (and hence its domain) to one CPU.
+
+    Best effort: pinning exists only on Linux ([pthread_setaffinity_np])
+    and can fail even there (cgroup cpusets, containers exposing fewer
+    CPUs than sysfs advertises). Callers treat a failed pin as "run
+    unpinned" — the native runner records whether every thread of a run
+    was pinned so reports can say which kind of number they carry. *)
+
+val pin_current : int -> bool
+(** [pin_current cpu] restricts the calling thread to [cpu] (as numbered
+    by the OS, which is also how {!Hosttopo} numbers them). Returns
+    [false] when unsupported on this platform or rejected by the OS. *)
+
+val available : bool
+(** Whether this build has a pinning implementation at all ([false]
+    means every {!pin_current} call will return [false]). *)

@@ -1,0 +1,53 @@
+/* Thread-to-CPU pinning for the native benchmark runner.
+ *
+ * Pinning each domain to one CPU is what gives native handover
+ * latencies a stable meaning (the simulator's pick_cpus placement
+ * assumes it); without it the OS migrates spinners mid-benchmark and
+ * the NUMA structure of the measurement dissolves. Only Linux exposes
+ * a portable-enough call; elsewhere pinning reports failure and the
+ * runner falls back to unpinned domains (documented in the report).
+ */
+
+#if defined(__linux__) && !defined(_GNU_SOURCE)
+/* must precede every include: glibc only exposes CPU_SET /
+   pthread_setaffinity_np under _GNU_SOURCE */
+#define _GNU_SOURCE
+#endif
+
+#include <caml/mlvalues.h>
+
+#if defined(__linux__)
+
+#include <sched.h>
+#include <pthread.h>
+
+CAMLprim value clof_pin_current(value cpu)
+{
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET((int)Long_val(cpu), &set);
+  return Val_bool(
+      pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0);
+}
+
+CAMLprim value clof_pinning_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+#else
+
+CAMLprim value clof_pin_current(value cpu)
+{
+  (void)cpu;
+  return Val_false;
+}
+
+CAMLprim value clof_pinning_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+#endif

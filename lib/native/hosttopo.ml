@@ -1,0 +1,148 @@
+open Clof_topology
+
+let ncpus () = max 1 (Domain.recommended_domain_count ())
+
+(* ---------- sysfs probing (Linux) ----------
+
+   Best-effort: every read returns an option, and any inconsistency —
+   missing files, unparsable ids, cohorts that fail Topology.create's
+   nesting check — abandons the probe and falls back to the synthetic
+   topology. CPU numbering is the OS's own, so the topology lines up
+   with what Affinity.pin_current pins to. *)
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> Some (String.trim s)
+  | exception Sys_error _ -> None
+
+let read_int path = Option.bind (read_file path) int_of_string_opt
+
+let cpu_dir i = Printf.sprintf "/sys/devices/system/cpu/cpu%d" i
+
+(* NUMA node of a CPU: the nodeN entry in its sysfs directory. *)
+let numa_of_cpu i =
+  match Sys.readdir (cpu_dir i) with
+  | entries ->
+      Array.fold_left
+        (fun acc e ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if String.length e > 4 && String.sub e 0 4 = "node" then
+                int_of_string_opt (String.sub e 4 (String.length e - 4))
+              else None)
+        None entries
+  | exception Sys_error _ -> None
+
+(* LLC cohort label: the shared_cpu_list of the outermost cache index
+   present (index3, else index2). The raw string is the label — densify
+   in Topology.create turns distinct strings' ids into dense cohorts. *)
+let llc_of_cpu =
+  let table : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  fun i ->
+    let path n = Printf.sprintf "%s/cache/index%d/shared_cpu_list" (cpu_dir i) n in
+    match
+      match read_file (path 3) with
+      | Some s -> Some s
+      | None -> read_file (path 2)
+    with
+    | None -> None
+    | Some s -> (
+        match Hashtbl.find_opt table s with
+        | Some id -> Some id
+        | None ->
+            let id = Hashtbl.length table in
+            Hashtbl.add table s id;
+            Some id)
+
+let all_some a = Array.for_all Option.is_some a
+
+let sysfs ~ncpus =
+  let get f = Array.init ncpus f in
+  let pkg =
+    get (fun i -> read_int (cpu_dir i ^ "/topology/physical_package_id"))
+  in
+  let core = get (fun i -> read_int (cpu_dir i ^ "/topology/core_id")) in
+  if not (all_some pkg && all_some core) then None
+  else
+    let pkg = Array.map Option.get pkg in
+    let core = Array.map Option.get core in
+    (* core ids repeat across packages; qualify them *)
+    let core_of i = (pkg.(i) * 65536) + core.(i) in
+    let numa =
+      let n = get numa_of_cpu in
+      if all_some n then fun i -> Option.get n.(i) else fun i -> pkg.(i)
+    in
+    let cache =
+      let c = get llc_of_cpu in
+      if all_some c then fun i -> Option.get c.(i) else numa
+    in
+    match
+      Topology.create
+        ~name:(Printf.sprintf "native-%dcpu" ncpus)
+        ~ncpus ~core_of
+        ~cache_of:cache ~numa_of:numa
+        ~pkg_of:(fun i -> pkg.(i))
+    with
+    | topo -> Some topo
+    | exception Invalid_argument _ -> None
+
+(* No sysfs (or inconsistent sysfs): a flat machine of single-thread
+   cores paired into pseudo cache groups, so 2-level compositions still
+   have a non-trivial inner level on any multi-core host. *)
+let synthetic ~ncpus =
+  Topology.create
+    ~name:(Printf.sprintf "native-%dcpu-flat" ncpus)
+    ~ncpus ~core_of:Fun.id
+    ~cache_of:(fun i -> i / 2)
+    ~numa_of:(fun _ -> 0)
+    ~pkg_of:(fun _ -> 0)
+
+(* The host's ISA decides Hemlock's CTR default, exactly as the
+   simulator presets do (Section 3.2): /proc/cpuinfo says "vendor_id"
+   on x86 and "CPU implementer" on arm64. Unknown reads as x86 — the
+   conservative choice is only about a benchmark default, never
+   correctness. *)
+let arch () =
+  match read_file "/proc/cpuinfo" with
+  | None -> Platform.X86
+  | Some info ->
+      let contains needle =
+        let nl = String.length needle and il = String.length info in
+        let rec go i =
+          i + nl <= il && (String.sub info i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      if contains "CPU implementer" then Platform.Armv8 else Platform.X86
+
+let detect ?ncpus:(n = ncpus ()) () =
+  let topo =
+    match sysfs ~ncpus:n with Some t -> t | None -> synthetic ~ncpus:n
+  in
+  { Platform.topo; arch = arch () }
+
+(* Leaf level for a 2-level composition on this host: the paper uses
+   [numa, system] on its machines; hosts without real NUMA fall inward
+   to the first level that still groups CPUs non-trivially (several
+   cohorts of at least two CPUs), then to any level that separates
+   CPUs at all, and a single-CPU host degrades to a 1-cohort cache
+   level — which Topology.validate_hierarchy rejects (nothing to
+   discriminate) but Compose tolerates: the inner lock is simply
+   always uncontended. *)
+let leaf_level topo =
+  let non_trivial l =
+    Topology.ncohorts topo l > 1 && Topology.cpus_per_cohort topo l >= 2
+  in
+  let grouping l = Topology.ncohorts topo l > 1 in
+  let candidates =
+    [ Level.Numa_node; Level.Package; Level.Cache_group; Level.Core ]
+  in
+  match List.find_opt non_trivial candidates with
+  | Some l -> l
+  | None -> (
+      match List.find_opt grouping candidates with
+      | Some l -> l
+      | None -> Level.Cache_group)
+
+let hierarchy (p : Platform.t) = [ leaf_level p.Platform.topo; Level.System ]

@@ -1,0 +1,29 @@
+(** Topology of the machine the process is running on, for the native
+    backend — the counterpart of the simulator's {!Clof_topology.Platform}
+    presets, and the input to the cross-validation experiment's
+    "simulate the machine you have" leg.
+
+    Detection is best-effort from Linux sysfs (package / core / NUMA /
+    LLC of each CPU, numbered as the OS numbers them, which is also what
+    {!Affinity.pin_current} pins to). Anything missing or inconsistent —
+    non-Linux hosts, containers with partial sysfs, cohorts that fail
+    the nesting check — falls back to a synthetic flat topology of
+    single-thread cores paired into pseudo cache groups, so every
+    multi-core host still offers a non-trivial 2-level hierarchy. *)
+
+val ncpus : unit -> int
+(** CPUs available to this process ([Domain.recommended_domain_count],
+    which respects affinity masks and cgroup limits), at least 1. *)
+
+val detect : ?ncpus:int -> unit -> Clof_topology.Platform.t
+(** The host as a benchmark platform: detected topology plus the ISA
+    family from /proc/cpuinfo (selects Hemlock's CTR default exactly as
+    the simulator presets do; unknown hosts read as x86). [ncpus]
+    overrides the detected CPU count (tests use small synthetic
+    machines). *)
+
+val hierarchy : Clof_topology.Platform.t -> Clof_topology.Topology.hierarchy
+(** A 2-level hierarchy [[leaf; System]] for this host: NUMA node when
+    the host really has several, else the innermost level that still
+    groups CPUs non-trivially (several cohorts of two or more CPUs),
+    degrading to a single-cohort cache level on tiny hosts. *)

@@ -1,0 +1,90 @@
+(* Rank correlation between two paired samples — the metric of the
+   sim-vs-native cross-validation. Absolute throughputs are not
+   comparable across backends (simulated ns vs wall ns), but the
+   paper's claim only needs the *ordering* of locks to agree: rank
+   correlation is exactly that agreement. Both classical coefficients
+   are provided because they fail differently: Spearman punishes a few
+   locks far out of place, Kendall counts pairwise inversions. *)
+
+(* Average ranks (1-based), ties sharing the mean of their positions —
+   the standard "fractional ranking" Spearman requires for unbiased
+   tie handling. *)
+let ranks (xs : float array) =
+  let n = Array.length xs in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    (* positions !i..!j (0-based) hold equal values *)
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let mean a =
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (max 1 (Array.length a))
+
+(* Pearson product-moment correlation; None when either sample has zero
+   variance (a constant vector orders nothing). *)
+let pearson xs ys =
+  let n = Array.length xs in
+  if n < 2 || Array.length ys <> n then None
+  else begin
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then None
+    else Some (!sxy /. sqrt (!sxx *. !syy))
+  end
+
+let spearman xs ys =
+  let n = Array.length xs in
+  if n < 2 || Array.length ys <> n then None
+  else pearson (ranks xs) (ranks ys)
+
+(* Kendall's tau-b: concordant minus discordant pairs, normalized with
+   the tie-corrected denominator so that heavily tied data (identical
+   throughputs at low thread counts) stays in [-1, 1]. O(n^2) — lock
+   panels are tens of entries. *)
+let kendall xs ys =
+  let n = Array.length xs in
+  if n < 2 || Array.length ys <> n then None
+  else begin
+    let concordant = ref 0
+    and discordant = ref 0
+    and ties_x = ref 0
+    and ties_y = ref 0 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let cx = compare xs.(i) xs.(j) and cy = compare ys.(i) ys.(j) in
+        if cx = 0 && cy = 0 then begin
+          incr ties_x;
+          incr ties_y
+        end
+        else if cx = 0 then incr ties_x
+        else if cy = 0 then incr ties_y
+        else if cx * cy > 0 then incr concordant
+        else incr discordant
+      done
+    done;
+    let pairs = n * (n - 1) / 2 in
+    let denom =
+      sqrt (float_of_int (pairs - !ties_x))
+      *. sqrt (float_of_int (pairs - !ties_y))
+    in
+    if denom = 0.0 then None
+    else Some (float_of_int (!concordant - !discordant) /. denom)
+  end

@@ -30,6 +30,76 @@ let kyoto =
     noncs_work = 26_000;
   }
 
+(* ---------- backend-parametric thread body ----------
+
+   The per-thread benchmark loop is shared between the simulator runner
+   below and the native runner ([Clof_native.Native]): both execute the
+   exact same acquire / read-index / write-hot / compute / release /
+   think sequence, differing only in how the six primitive operations
+   are performed. The simulator charges virtual time through engine
+   effects; the native backend burns real cycles and reads the
+   monotonic clock. Keeping the loop in one place is what makes the
+   cross-validation experiment an apples-to-apples comparison. *)
+
+type ops = {
+  op_work : int -> unit;
+      (** perform [n] ns-ish of lock-free work (simulated: charged to
+          virtual time; native: a calibrated arithmetic spin) *)
+  op_now : unit -> int;  (** the backend clock ({!Memory_intf.S.now}) *)
+  op_running : unit -> bool;  (** benchmark window still open *)
+  op_hot_store : int -> int -> unit;
+      (** [op_hot_store slot tid]: write the [slot]-th hot line *)
+  op_probe_enter : unit -> unit;  (** mutual-exclusion race detector *)
+  op_probe_exit : unit -> unit;
+}
+
+let thread_body ops (p : params) ~deadline ~cpu ~tid
+    ~(handle : Clof_core.Runtime.handle) ~sink ~counts ~last_progress =
+  let read_work = p.cs_reads * dram_read in
+  let rng = Random.State.make [| 0x5eed; tid; cpu |] in
+  (* Heterogeneous thread rates and a staggered start keep the queue
+     order mixing; without them FIFO locks settle into a stable
+     neighbour-to-neighbour rotation no real workload exhibits. *)
+  let rate = 0.6 +. Random.State.float rng 0.8 in
+  let think () =
+    if p.noncs_work > 0 then
+      ops.op_work
+        (int_of_float
+           (rate
+           *. float_of_int
+                ((p.noncs_work / 2) + Random.State.int rng p.noncs_work)))
+  in
+  think ();
+  while ops.op_running () do
+    let t0 = ops.op_now () in
+    let owned =
+      match deadline with
+      | None ->
+          handle.Clof_core.Runtime.acquire ();
+          true
+      | Some d -> handle.Clof_core.Runtime.try_acquire ~deadline:(t0 + d)
+    in
+    if not owned then begin
+      (* deadline hit: record, back off, try again next iteration *)
+      Clof_stats.Stats.Sink.timeout sink;
+      think ()
+    end
+    else begin
+      Clof_stats.Stats.Sink.acquired sink ~ns:(ops.op_now () - t0);
+      ops.op_probe_enter ();
+      if read_work > 0 then ops.op_work read_work;
+      for j = 0 to p.cs_writes - 1 do
+        ops.op_hot_store j tid
+      done;
+      if p.cs_work > 0 then ops.op_work p.cs_work;
+      ops.op_probe_exit ();
+      handle.Clof_core.Runtime.release ();
+      counts.(tid) <- counts.(tid) + 1;
+      last_progress.(tid) <- ops.op_now ();
+      think ()
+    end
+  done
+
 type result = {
   lock : string;
   nthreads : int;
@@ -56,9 +126,6 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
   let hot = Array.init (max 1 p.cs_writes) (fun i ->
       M.make ~name:(Printf.sprintf "hot.%d" i) 0)
   in
-  (* index reads miss to memory: the store is far larger than any
-     cache, and those misses are independent of lock handover locality *)
-  let read_work = p.cs_reads * dram_read in
   let counts = Array.make nthreads 0 in
   let last_progress = Array.make nthreads 0 in
   (* one recorder per thread: recording stays single-writer, the
@@ -80,53 +147,22 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
     if nesting <> 0 then M.poke violated true
   in
   let probe_exit () = M.poke in_cs (M.peek in_cs - 1) in
+  let ops =
+    {
+      op_work = E.work;
+      op_now = E.now;
+      op_running = E.running;
+      op_hot_store = (fun j tid -> M.store hot.(j) tid);
+      op_probe_enter = probe_enter;
+      op_probe_exit = probe_exit;
+    }
+  in
   let body cpu tid =
     let stats = recorders.(tid) in
     let sink = Clof_stats.Stats.Sink.of_recorder stats in
     let h = lock.Clof_core.Runtime.handle ~stats ~cpu () in
-    let rng = Random.State.make [| 0x5eed; tid; cpu |] in
-    (* Heterogeneous thread rates and a staggered start keep the queue
-       order mixing; without them FIFO locks settle into a stable
-       neighbour-to-neighbour rotation no real workload exhibits. *)
-    let rate = 0.6 +. Random.State.float rng 0.8 in
-    let think () =
-      if p.noncs_work > 0 then
-        E.work
-          (int_of_float
-             (rate
-             *. float_of_int
-                  ((p.noncs_work / 2) + Random.State.int rng p.noncs_work)))
-    in
-    think ();
-    while E.running () do
-      let t0 = E.now () in
-      let owned =
-        match deadline with
-        | None ->
-            h.Clof_core.Runtime.acquire ();
-            true
-        | Some d -> h.Clof_core.Runtime.try_acquire ~deadline:(t0 + d)
-      in
-      if not owned then begin
-        (* deadline hit: record, back off, try again next iteration *)
-        Clof_stats.Stats.Sink.timeout sink;
-        think ()
-      end
-      else begin
-        Clof_stats.Stats.Sink.acquired sink ~ns:(E.now () - t0);
-        probe_enter ();
-        if read_work > 0 then E.work read_work;
-        for j = 0 to p.cs_writes - 1 do
-          M.store hot.(j) tid
-        done;
-        if p.cs_work > 0 then E.work p.cs_work;
-        probe_exit ();
-        h.Clof_core.Runtime.release ();
-        counts.(tid) <- counts.(tid) + 1;
-        last_progress.(tid) <- E.now ();
-        think ()
-      end
-    done
+    thread_body ops p ~deadline ~cpu ~tid ~handle:h ~sink ~counts
+      ~last_progress
   in
   let threads =
     Array.to_list (Array.map (fun cpu -> (cpu, body cpu)) cpus)

@@ -29,6 +29,50 @@ val kyoto : params
     ~0.1 op/us, matching Figure 10's scale), used as the
     cross-validation benchmark. *)
 
+(** {2 Backend-parametric thread body}
+
+    The per-thread benchmark loop, shared verbatim between the
+    simulator runner ({!run}) and the native-domain runner
+    ({!Clof_native.Native.run}): acquire, read the index, write the hot
+    lines, compute, release, think — only the six primitive operations
+    differ per backend. Sharing the loop is what makes the [xval]
+    cross-validation an apples-to-apples comparison of backends rather
+    than of two different workloads. *)
+
+type ops = {
+  op_work : int -> unit;
+      (** perform [n] ns-ish of lock-free work (simulated: charged to
+          virtual time; native: a calibrated arithmetic spin) *)
+  op_now : unit -> int;
+      (** the backend clock ({!Clof_atomics.Memory_intf.S.now}) *)
+  op_running : unit -> bool;  (** benchmark window still open *)
+  op_hot_store : int -> int -> unit;
+      (** [op_hot_store slot tid]: write the [slot]-th hot line *)
+  op_probe_enter : unit -> unit;
+      (** mutual-exclusion race detector, entered first in the CS *)
+  op_probe_exit : unit -> unit;
+}
+
+val thread_body :
+  ops ->
+  params ->
+  deadline:int option ->
+  cpu:int ->
+  tid:int ->
+  handle:Clof_core.Runtime.handle ->
+  sink:Clof_stats.Stats.Sink.t ->
+  counts:int array ->
+  last_progress:int array ->
+  unit
+(** Run thread [tid]'s benchmark loop until [op_running] turns false:
+    completed operations land in [counts.(tid)], the completion time of
+    the last one in [last_progress.(tid)], timeouts and acquire
+    latencies in [sink]. [deadline] is the per-attempt [try_acquire]
+    budget in backend-clock ns ([None] blocks). The RNG driving think
+    times is seeded from [(tid, cpu)] only, so a backend's results are
+    reproducible run to run (modulo real-scheduler interleaving on the
+    native backend). *)
+
 type result = {
   lock : string;
   nthreads : int;

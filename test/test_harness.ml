@@ -236,6 +236,7 @@ let test_experiment_ids () =
     [
       "table1"; "fig1"; "table2"; "fig2"; "fig3"; "fig4"; "fig9a"; "fig9b";
       "fig9c"; "fig9d"; "fig10"; "verify"; "verify_scaling"; "fairness";
+      "xval";
     ]
 
 let test_experiment_dispatch () =

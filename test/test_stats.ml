@@ -334,6 +334,69 @@ let test_compose_h_exhaustion () =
     (S.h_exhausted r128.W.stats ~level:1
     < S.h_exhausted r.W.stats ~level:1)
 
+(* ---------- rank correlation ---------- *)
+
+module Rank = Clof_stats.Rank
+
+let check_coef label expected = function
+  | None -> Alcotest.fail (label ^ ": expected a coefficient, got None")
+  | Some c ->
+      check_bool
+        (Printf.sprintf "%s: %.4f ~ %.4f" label c expected)
+        true
+        (Float.abs (c -. expected) < 1e-9)
+
+let test_ranks () =
+  check_bool "no ties" true
+    (Rank.ranks [| 30.; 10.; 20. |] = [| 3.; 1.; 2. |]);
+  check_bool "tie shares average rank" true
+    (Rank.ranks [| 10.; 20.; 20. |] = [| 1.; 2.5; 2.5 |]);
+  check_bool "all tied" true (Rank.ranks [| 5.; 5.; 5. |] = [| 2.; 2.; 2. |]);
+  check_bool "empty" true (Rank.ranks [||] = [||])
+
+let test_spearman () =
+  (* rank correlation sees through any monotone transform *)
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  let log_xs = Array.map log xs in
+  check_coef "identity" 1.0 (Rank.spearman xs xs);
+  check_coef "monotone transform" 1.0 (Rank.spearman xs log_xs);
+  check_coef "inverted" (-1.0)
+    (Rank.spearman xs [| 5.; 4.; 3.; 2.; 1. |]);
+  check_bool "constant side undefined" true
+    (Rank.spearman xs [| 7.; 7.; 7.; 7.; 7. |] = None);
+  check_bool "length mismatch" true (Rank.spearman xs [| 1.; 2. |] = None);
+  check_bool "too short" true (Rank.spearman [| 1. |] [| 1. |] = None)
+
+let test_kendall () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_coef "identity" 1.0 (Rank.kendall xs xs);
+  check_coef "inverted" (-1.0) (Rank.kendall xs [| 4.; 3.; 2.; 1. |]);
+  (* one swapped adjacent pair out of 6: (6-2*1)/6 *)
+  check_coef "one inversion" (4.0 /. 6.0)
+    (Rank.kendall xs [| 1.; 3.; 2.; 4. |]);
+  check_bool "all tied undefined" true
+    (Rank.kendall xs [| 2.; 2.; 2.; 2. |] = None);
+  (* tau-b tie correction keeps partially tied data in [-1, 1] *)
+  match Rank.kendall [| 1.; 1.; 2.; 3. |] [| 1.; 2.; 3.; 4. |] with
+  | None -> Alcotest.fail "partial ties must stay defined"
+  | Some tau -> check_bool "tau-b in range" true (tau > 0.0 && tau <= 1.0)
+
+let test_rank_bounds =
+  QCheck.Test.make ~name:"spearman and kendall stay in [-1, 1]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(2 -- 12) (float_bound_exclusive 1000.0))
+        (list_of_size Gen.(2 -- 12) (float_bound_exclusive 1000.0)))
+    (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      let trim l = Array.of_list (List.filteri (fun i _ -> i < n) l) in
+      let xs = trim a and ys = trim b in
+      let in_range = function
+        | None -> true
+        | Some c -> c >= -1.0 -. 1e-9 && c <= 1.0 +. 1e-9
+      in
+      in_range (Rank.spearman xs ys) && in_range (Rank.kendall xs ys))
+
 (* ---------- report round-trip ---------- *)
 
 let test_report_roundtrip () =
@@ -442,6 +505,13 @@ let () =
             test_compose_levels;
           Alcotest.test_case "H threshold exhaustion" `Quick
             test_compose_h_exhaustion;
+        ] );
+      ( "rank",
+        [
+          Alcotest.test_case "fractional ranks" `Quick test_ranks;
+          Alcotest.test_case "spearman" `Quick test_spearman;
+          Alcotest.test_case "kendall tau-b" `Quick test_kendall;
+          qcheck test_rank_bounds;
         ] );
       ( "report",
         [
