@@ -171,17 +171,72 @@ let pp_xval label (r : Report.t) =
       end)
     r.experiments
 
-(* verify series carry checker counters in the point slots, and xval
-   series carry native wall-clock numbers and packed coefficients —
-   none of it is a benchmark result; comparing either across runs
-   would gate on wall-clock. Strip both before the join. *)
+(* Fault-matrix cells from a faults report (clof_bench faults),
+   decoded from the slot encoding documented in Faultbench. Printed
+   for trend-watching only: the recovery gate already ran inside
+   clof_bench faults, so none of this joins the regression gate. *)
+let has_faults (r : Report.t) =
+  List.exists
+    (fun (e : Report.experiment) -> e.Report.exp_id = "faults")
+    r.experiments
+
+let pp_faults label (r : Report.t) =
+  List.iter
+    (fun (e : Report.experiment) ->
+      if e.Report.exp_id = "faults" then begin
+        Printf.printf "bench_check: %s fault matrix (%s):\n" label
+          e.Report.workload;
+        let class_name = function
+          | 0 -> "recovered"
+          | 1 -> "degraded"
+          | 2 -> "wedged"
+          | _ -> "?"
+        in
+        List.iter
+          (fun (s : Report.series) ->
+            let flags =
+              match
+                List.find_opt
+                  (fun (p : Report.point) -> p.Report.threads = 0)
+                  s.Report.points
+              with
+              | Some p -> p.Report.total_ops
+              | None -> 0
+            in
+            let cells =
+              List.filter_map
+                (fun (p : Report.point) ->
+                  if p.Report.threads = 0 then None
+                  else
+                    Some
+                      (Printf.sprintf "%s(%d,+r%.0f)"
+                         (class_name p.Report.sim_ns)
+                         p.Report.total_ops p.Report.throughput))
+                s.Report.points
+            in
+            Printf.printf "  %-20s%s%s %s\n" s.Report.lock
+              (if flags land 1 <> 0 then " [fair]" else "")
+              (if flags land 2 <> 0 then " [abort]" else "")
+              (String.concat " " cells))
+          e.Report.series
+      end)
+    r.experiments
+
+(* verify series carry checker counters in the point slots, xval
+   series carry native wall-clock numbers and packed coefficients,
+   and faults series carry recovery classes — none of it is a
+   benchmark result; comparing any across runs would gate on
+   wall-clock or on fault bookkeeping. Strip all three before the
+   join. *)
 let gateable (r : Report.t) =
   {
     r with
     Report.experiments =
       List.filter
         (fun (e : Report.experiment) ->
-          e.Report.exp_id <> "verify" && e.Report.exp_id <> "xval")
+          e.Report.exp_id <> "verify"
+          && e.Report.exp_id <> "xval"
+          && e.Report.exp_id <> "faults")
         r.experiments;
   }
 
@@ -197,6 +252,8 @@ let check baseline current max_drop max_jain_drop min_jain require_all =
       else if has_verify base then pp_verify "baseline" base;
       if has_xval cur then pp_xval "current" cur
       else if has_xval base then pp_xval "baseline" base;
+      if has_faults cur then pp_faults "current" cur
+      else if has_faults base then pp_faults "baseline" base;
       let base = gateable base and cur = gateable cur in
       let cur_points = flatten cur in
       let find key =

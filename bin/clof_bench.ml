@@ -179,25 +179,41 @@ let xval quick jobs out min_corr =
               `Error
                 (false, "xval gate: " ^ String.concat "; " bad)))
 
-let faults_gate quick jobs =
+let faults_gate quick jobs out =
   set_jobs jobs;
   Clof_harness.Experiments.set_quick quick;
   ignore (Clof_harness.Experiments.run Format.std_formatter "faults");
+  let rows = Clof_harness.Experiments.fault_matrix () in
+  let doc =
+    Clof_harness.Report.to_string
+      (Clof_harness.Faultbench.to_report ~quick rows)
+  in
   match
-    Clof_harness.Experiments.fault_gate
-      (Clof_harness.Experiments.fault_matrix ())
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+      (fun () ->
+        output_string oc doc;
+        close_out oc)
   with
-  | [] -> `Ok ()
-  | bad ->
-      `Error
-        ( false,
-          Printf.sprintf "fault gate: %s"
-            (String.concat "; "
-               (List.map
-                  (fun (lock, fault) ->
-                    Printf.sprintf "fair lock %s wedged under %s" lock
-                      fault)
-                  bad)) )
+  | exception Sys_error msg -> `Error (false, msg)
+  | () -> (
+      Printf.printf "wrote %s (schema v%d)\n" out
+        Clof_harness.Report.schema_version;
+      match Clof_harness.Experiments.fault_gate rows with
+      | [] -> `Ok ()
+      | bad ->
+          `Error
+            ( false,
+              Printf.sprintf "fault gate: %s"
+                (String.concat "; "
+                   (List.map
+                      (fun v ->
+                        Printf.sprintf "%s [%s]: %s"
+                          v.Clof_harness.Experiments.fv_lock
+                          v.Clof_harness.Experiments.fv_fault
+                          v.Clof_harness.Experiments.fv_what)
+                      bad)) ))
 
 open Cmdliner
 
@@ -333,11 +349,20 @@ let xval_cmd =
 let faults_cmd =
   let doc =
     "Run the fault-injection matrix and fail if any fair lock wedges \
-     under a transient stall (the CI robustness gate)"
+     under a transient stall, any true-abort lock fails to recover \
+     from a holder crash, or a declared capability disagrees with \
+     observed behaviour (the CI robustness gate)"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_faults.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the recovery matrix as a schema-v1 report.")
   in
   Cmd.v
     (Cmd.info "faults" ~doc)
-    Term.(ret (const faults_gate $ quick $ jobs_arg))
+    Term.(ret (const faults_gate $ quick $ jobs_arg $ out))
 
 let main =
   let doc =

@@ -178,6 +178,9 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           let t = create ?h () in
           {
             Clof_core.Runtime.l_name = "cna";
+            (* long-term fair only: the secondary queue defers remote
+               waiters for a bounded budget *)
+            l_fair = false;
             (* blocking fallback: acquisition cannot be abandoned *)
             l_abortable = false;
             handle =

@@ -166,7 +166,9 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           let t = create ?h ~topo ~hierarchy () in
           {
             Clof_core.Runtime.l_name = name;
-            (* blocking fallback: acquisition cannot be abandoned *)
+            l_fair = true;
+            (* blocking fallback: acquisition cannot be abandoned —
+               Hmcs_t is the timed variant *)
             l_abortable = false;
             handle =
               (fun ?stats ~cpu () ->

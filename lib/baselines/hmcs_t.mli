@@ -1,0 +1,58 @@
+(** HMCS-T: the abortable hierarchical MCS lock ("An Efficient
+    Abortable-locking Protocol for Multi-level NUMA Systems", Chabbi et
+    al.) — {!Hmcs} with timed abandonment at every tree level.
+
+    Grants are CAS-arbitrated per level in the MCS-TP style: the level
+    owner grants with [cas wait -> count] (local pass) or [cas wait ->
+    acquire_parent] (global pass), a timed-out waiter leaves with [cas
+    wait -> abandoned]; whichever CAS succeeds decides. Abandoned
+    nodes stay queued (skipped by release walks, unlinked when a walk
+    drains past them at the tail) and the waiter continues on a fresh
+    node.
+
+    The inherited/relinquished-lock protocol governs partial
+    ownership: a waiter that times out while {e holding} inner levels
+    (it was climbing, or a grant beat its abandon CAS) hands each held
+    level to a live successor via [acquire_parent] — who must climb
+    the parent itself — or frees the level, innermost-first, so nobody
+    is stranded; a waiter handed a full local pass at/after its
+    deadline unwinds with a normal release. [try_acquire] therefore
+    returns [false] owning nothing, at any depth — the per-level
+    induction that {!Clof_core.Compose}'s abort contract mirrors. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) : sig
+  type t
+  type ctx
+
+  val create :
+    ?h:int ->
+    topo:Clof_topology.Topology.t ->
+    hierarchy:Clof_topology.Topology.hierarchy ->
+    unit ->
+    t
+  (** [h] is the per-level passing threshold (default 128, as in
+      {!Hmcs}). *)
+
+  val ctx_create : t -> cpu:int -> ctx
+
+  val set_sink : ctx -> Clof_stats.Stats.Sink.t -> unit
+  (** Route per-level pass/threshold/abort events from this context to
+      a recorder (levels indexed from the root). *)
+
+  val acquire : t -> ctx -> unit
+  val release : t -> ctx -> unit
+
+  val try_acquire : t -> ctx -> deadline:int -> bool
+  (** True abort: bounded by [deadline] (backend ns) at every level;
+      [false] means nothing is owned and the context is immediately
+      reusable. May still return [true] when the lock is uncontended
+      or a grant wins the arbitration race at the deadline. *)
+
+  val spec :
+    ?h:int ->
+    hierarchy:Clof_topology.Topology.hierarchy ->
+    unit ->
+    Clof_core.Runtime.spec
+  (** Named ["hmcst<n>"] after the hierarchy depth; reports
+      [l_abortable = true]. *)
+end

@@ -122,6 +122,8 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
           let t = create ?scan () in
           {
             Clof_core.Runtime.l_name = "shfl";
+            (* shuffling reorders the queue by NUMA proximity *)
+            l_fair = false;
             (* blocking fallback: acquisition cannot be abandoned *)
             l_abortable = false;
             handle =

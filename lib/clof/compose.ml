@@ -235,7 +235,20 @@ struct
     end
     else begin
       ctx.got_passed <- M.load ~o:Acquire m.high_locked;
-      if ctx.got_passed then true
+      if ctx.got_passed then
+        (* Inherited the high lock by intra-cohort passing. If the
+           deadline expired while we waited — the pass was granted a
+           hair before our timeout would have fired — we hold the full
+           stack but have no time left to use it: relinquish it with a
+           normal release (we own everything, so [release] is exactly
+           the relinquish protocol) and report the abort. Mirrors the
+           inherited-lock case of HMCS-T's per-level induction. *)
+        if M.now () < deadline then true
+        else begin
+          Clof_stats.Stats.Sink.abort ctx.sink ~level:stats_level;
+          release t ctx;
+          false
+        end
       else begin
         High.set_sink m.high_ctx ctx.sink;
         if High.try_acquire t.high m.high_ctx ~deadline then true

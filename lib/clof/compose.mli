@@ -29,6 +29,26 @@
       are. By induction every composition of truly-abortable basic
       locks is truly abortable end to end.
 
+    The induction has two extra cases matching the HMCS-T contract
+    ({!Clof_baselines.Hmcs_t}):
+
+    - {e Inherited}: a waiter granted the pass flag after its deadline
+      already expired holds the {e full} lock stack (the pass conveys
+      every level above). It cannot return [true] — the caller's time
+      is up — so it relinquishes by running the normal [release]
+      (which it is entitled to, owning everything), records the abort,
+      and returns [false]. This is the composition-level mirror of an
+      HMCS-T waiter whose local pass beat its abandonment CAS.
+    - {e Relinquished}: a waiter that timed out inside
+      [High.try_acquire] holds only the low lock; it hands the low
+      lock back without the pass flag, exactly as HMCS-T's [climb]
+      relinquishes a level whose parent acquisition timed out.
+
+    Both cases keep the waiter counter balanced (the decrement happened
+    before either branch) and leave every level either owned by a live
+    thread or free — no waiter is stranded behind an abandoned
+    acquisition.
+
     {2 Residual hazard: the parked pass flag}
 
     One window is inherent to lock passing: a releasing owner that has

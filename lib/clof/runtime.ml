@@ -6,6 +6,7 @@ type handle = {
 
 type lock = {
   l_name : string;
+  l_fair : bool;
   l_abortable : bool;
   handle : ?stats:Clof_stats.Stats.recorder -> cpu:int -> unit -> handle;
 }
@@ -24,6 +25,7 @@ let of_clof ?h ~hierarchy (packed : Clof_intf.packed) =
         let t = L.create ?h ~topo ~hierarchy () in
         {
           l_name = L.name;
+          l_fair = L.fair;
           l_abortable = L.abortable;
           handle =
             (fun ?stats ~cpu () ->
@@ -50,6 +52,7 @@ let of_basic (type a) (packed : a Clof_locks.Lock_intf.packed) =
         let t = B.create ~node:0 () in
         {
           l_name = B.name;
+          l_fair = B.fair;
           l_abortable = B.abortable;
           handle =
             (fun ?stats:_ ~cpu () ->

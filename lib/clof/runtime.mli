@@ -21,6 +21,11 @@ type handle = {
 
 type lock = {
   l_name : string;
+  l_fair : bool;
+      (** Whether acquisition order is FIFO at every level (see
+          {!Clof_locks.Lock_intf.S.fair}); the fault gate holds fair
+          locks to a stricter wedging standard because a lost handover
+          there strands the whole queue. *)
   l_abortable : bool;
       (** Whether [try_acquire] truly abandons bounded waits at every
           level (see {!Clof_locks.Lock_intf.S.abortable}); [false] for

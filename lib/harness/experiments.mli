@@ -18,11 +18,13 @@ val set_quick : bool -> unit
 type fault_class =
   | Recovered
       (** every surviving thread was still completing operations at the
-          end of the run; timed-out attempts during the fault window
+          end of the run, and any crashed holder was reclaimed by the
+          watchdog; timed-out attempts during the fault window
           (reported alongside) are the recovery mechanism at work *)
   | Degraded
-      (** the run stayed healthy but permanently lost a crashed
-          thread's capacity *)
+      (** the run stayed healthy but a thread crashed and nothing was
+          reclaimed — its capacity (and whatever it held) is
+          permanently lost *)
   | Wedged
       (** the run hung or livelocked, or a surviving thread stopped
           making progress — e.g. the lock died with a crashed owner and
@@ -34,6 +36,9 @@ type fault_cell = {
   fc_fault : string;  (** scenario name, ["none"] for the baseline *)
   fc_class : fault_class;
   fc_timeouts : int;  (** timed acquisitions that hit their deadline *)
+  fc_recoveries : int;
+      (** holder-crash reclaims performed by the recovery watchdog
+          (see {!Clof_workloads.Workload.run}) *)
   fc_hung : bool;  (** the simulator's blocked-forever verdict *)
 }
 
@@ -47,12 +52,26 @@ type fault_row = {
 }
 
 val fault_matrix : unit -> fault_row list
-(** The full (lock x fault) sweep; memoized within the process. *)
+(** The full (lock x fault) sweep, run with the crash-recovery
+    watchdog armed; memoized within the process. Capability flags per
+    row come off the instantiated lock's Runtime metadata, not a
+    hand-maintained list. *)
 
-val fault_gate : fault_row list -> (string * string) list
-(** [(lock, fault)] pairs where a {e fair} lock classified {!Wedged}
-    under a transient stall — the condition the CI smoke job fails
-    on. Empty means the gate passes. *)
+type fault_violation = {
+  fv_lock : string;
+  fv_fault : string;
+      (** scenario name, or ["capability"] for the capability audit *)
+  fv_what : string;  (** human-readable description of the breach *)
+}
+
+val fault_gate : fault_row list -> fault_violation list
+(** The CI gate, three rules keyed off declared capability: a {e fair}
+    lock must never classify {!Wedged} under a transient stall; a
+    {e true-abort} lock must classify {!Recovered} on a holder crash
+    (the watchdog reclaims through the abortable path); and a lock
+    declaring [l_abortable] must have actually abandoned attempts
+    somewhere in the fault columns — declared capability must agree
+    with observed behaviour. Empty means the gate passes. *)
 
 val ids : (string * string) list
 (** [(id, description)] of every experiment, in DESIGN.md order. *)

@@ -1,0 +1,72 @@
+(* The faults experiment as a first-class benchmark artifact: ship the
+   (lock x fault) recovery matrix through the Report schema as
+   BENCH_faults.json, next to BENCH_verify.json.
+
+   Each lock becomes one series named "faults/<lock>". The Report
+   point shape was built for lock sweeps, so the matrix rides in fixed
+   [threads] slots (decoded by bench_check):
+
+     slot 0: capability flags from the lock's Runtime metadata —
+             total_ops bit 0 = fair, bit 1 = true-abort
+     slot k (k >= 1, the k-th fault scenario in matrix order):
+             total_ops = timed-out attempts, sim_ns = class code
+             (0 recovered / 1 degraded / 2 wedged), throughput =
+             watchdog reclaims, jain = 1.0 unless wedged
+
+   The gate is separate from the report: CI fails on
+   Experiments.fault_gate violations (clof_bench faults), never on
+   the statistics, which are trajectory data. *)
+
+module Ex = Experiments
+
+let class_code = function
+  | Ex.Recovered -> 0
+  | Ex.Degraded -> 1
+  | Ex.Wedged -> 2
+
+let to_report ?(quick = false) rows =
+  let point ~slot ~ops ~ns ~tp ~jain =
+    {
+      Report.threads = slot;
+      throughput = tp;
+      total_ops = ops;
+      sim_ns = ns;
+      jain;
+      stats = Clof_stats.Stats.create ();
+    }
+  in
+  let series =
+    List.map
+      (fun row ->
+        let flags =
+          (if row.Ex.fr_fair then 1 else 0)
+          lor if row.Ex.fr_abortable then 2 else 0
+        in
+        {
+          Report.lock = "faults/" ^ row.Ex.fr_lock;
+          points =
+            point ~slot:0 ~ops:flags ~ns:0 ~tp:0.0 ~jain:1.0
+            :: List.mapi
+                 (fun i c ->
+                   point ~slot:(i + 1) ~ops:c.Ex.fc_timeouts
+                     ~ns:(class_code c.Ex.fc_class)
+                     ~tp:(float_of_int c.Ex.fc_recoveries)
+                     ~jain:(if c.Ex.fc_class = Ex.Wedged then 0.0 else 1.0))
+                 row.Ex.fr_cells;
+        })
+      rows
+  in
+  let workload =
+    match rows with
+    | row :: _ ->
+        String.concat ","
+          (List.map (fun c -> c.Ex.fc_fault) row.Ex.fr_cells)
+    | [] -> "faults"
+  in
+  {
+    Report.version = Report.schema_version;
+    quick;
+    meta = None;
+    experiments =
+      [ { Report.exp_id = "faults"; platform = "x86"; workload; series } ];
+  }

@@ -1,0 +1,14 @@
+(** The fault-injection matrix as a Report document (BENCH_faults.json,
+    written by [clof_bench faults --out] and uploaded next to
+    BENCH_verify.json in CI).
+
+    Slot encoding, decoded by [bench_check]: one series per lock named
+    ["faults/<lock>"]; slot 0 packs the capability flags read off the
+    lock's Runtime metadata (total_ops bit 0 = fair, bit 1 =
+    true-abort); slot [k >= 1] is the [k]-th fault scenario in matrix
+    order with total_ops = timed-out attempts, sim_ns = the class code
+    (0 recovered / 1 degraded / 2 wedged), throughput = watchdog
+    reclaims, and jain = 1.0 unless the cell wedged. The CI gate runs
+    on {!Experiments.fault_gate}, never on these statistics. *)
+
+val to_report : ?quick:bool -> Experiments.fault_row list -> Report.t

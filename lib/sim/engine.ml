@@ -8,6 +8,7 @@ type access =
 type fault =
   | Stall of { tid : int; at_op : int; ns : int }
   | Crash of { tid : int; at_op : int }
+  | Crash_in_cs of { tid : int; after_op : int }
 
 type injected = { i_tid : int; i_op : int; i_time : int; i_kind : string }
 
@@ -29,7 +30,9 @@ type _ Effect.t +=
   | E_fence : unit Effect.t
   | E_pause : unit Effect.t
   | E_work : int -> unit Effect.t
+  | E_sleep : int -> unit Effect.t
   | E_now : int Effect.t
+  | E_cs_mark : bool -> unit Effect.t
   | E_running : bool Effect.t
   | E_tid : int Effect.t
   | E_cpu : int Effect.t
@@ -39,6 +42,7 @@ type thread = {
   t_cpu : int;
   mutable time : int;
   mutable ops : int; (* atomic operations performed (fault anchors) *)
+  mutable in_cs : bool; (* between cs_mark true/false (fault anchor) *)
 }
 
 (* Watchers form an intrusive chain threaded through [Line.waiters]
@@ -228,7 +232,15 @@ let check_faults st th =
                 record_fault st th "crash";
                 verdict := `Crash;
                 false
-            | Stall _ | Crash _ -> true)
+            | Crash_in_cs { tid; after_op }
+              when tid = th.t_id && th.ops >= after_op && th.in_cs ->
+                (* holder crash: fires at the first atomic op past the
+                   anchor that lands inside a marked critical section,
+                   so the victim deterministically dies holding *)
+                record_fault st th "crash-in-cs";
+                verdict := `Crash;
+                false
+            | Stall _ | Crash _ | Crash_in_cs _ -> true)
           faults
       in
       st.pending_faults <- remaining;
@@ -442,10 +454,29 @@ let spawn st th body =
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   advance st th (max 0 ns);
                   resume_later (fun () -> Effect.Deep.continue k ()))
+          | E_sleep ns ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  (* a timer sleep, not compute: the thread's clock
+                     advances but the CPU stays free, so green threads
+                     timesharing the CPU (e.g. the benchmark thread the
+                     recovery watchdog shares a core with) run at full
+                     speed during it. Counts no op. *)
+                  th.time <- th.time + max 0 ns;
+                  if th.time > st.max_time then st.max_time <- th.time;
+                  resume_later (fun () -> Effect.Deep.continue k ()))
           | E_now ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   Effect.Deep.continue k th.time)
+          | E_cs_mark inside ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  (* op-neutral, like E_now: no cost, no event, no op
+                     count — marking a critical section must not shift
+                     benchmark numbers or fault anchors *)
+                  th.in_cs <- inside;
+                  Effect.Deep.continue k ())
           | E_running ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
@@ -504,7 +535,7 @@ let run ?(duration = 1_000_000) ?(faults = []) ~platform ~threads () =
         (fun i (cpu, body) ->
           if cpu < 0 || cpu >= Topology.ncpus topo then
             invalid_arg (Printf.sprintf "Engine.run: cpu %d out of range" cpu);
-          let th = { t_id = i; t_cpu = cpu; time = 0; ops = 0 } in
+          let th = { t_id = i; t_cpu = cpu; time = 0; ops = 0; in_cs = false } in
           Pqueue.add st.q 0 (fun () -> spawn st th body))
         threads;
       (* Watchdog against livelocks in code under test: a correct
@@ -557,6 +588,7 @@ let run ?(duration = 1_000_000) ?(faults = []) ~platform ~threads () =
       })
 
 let now () = Effect.perform E_now
+let cs_mark inside = Effect.perform (E_cs_mark inside)
 let running () = Effect.perform E_running
 let tid () = Effect.perform E_tid
 let cpu () = Effect.perform E_cpu
@@ -568,3 +600,4 @@ let await_line_until line ~rmw ~deadline pred =
 let fence () = Effect.perform E_fence
 let pause () = Effect.perform E_pause
 let work ns = Effect.perform (E_work ns)
+let sleep ns = Effect.perform (E_sleep ns)

@@ -40,12 +40,19 @@ type fault =
           and the thread dies at the op boundary. A crash at a waiting
           op removes the thread without leaving it a registered
           waiter. *)
+  | Crash_in_cs of { tid : int; after_op : int }
+      (** Holder crash: kill thread [tid] at its first atomic operation
+          that both reaches op count [after_op] and lands inside a
+          {!cs_mark}-bracketed critical section — the thread
+          deterministically dies while holding the lock, the scenario a
+          recovery watchdog exists for. Never fires if the thread stops
+          entering critical sections before the anchor. *)
 
 type injected = {
   i_tid : int;  (** thread the fault hit *)
   i_op : int;  (** its atomic-op counter at injection *)
   i_time : int;  (** its virtual clock after injection, ns *)
-  i_kind : string;  (** ["stall"] or ["crash"] *)
+  i_kind : string;  (** ["stall"], ["crash"] or ["crash-in-cs"] *)
 }
 
 type outcome = {
@@ -66,7 +73,7 @@ type outcome = {
       (** per-fault accounting, in injection order: every requested
           fault that actually fired (a fault whose thread never reaches
           [at_op] operations silently does not fire) *)
-  crashed : int list;  (** tids killed by [Crash] faults *)
+  crashed : int list;  (** tids killed by crash faults *)
   events : int;
       (** discrete events executed by the scheduler (thread spawns,
           access completions, wake-ups, timeouts) — the denominator of
@@ -98,6 +105,12 @@ val run :
 val now : unit -> int
 (** This thread's virtual clock, ns. *)
 
+val cs_mark : bool -> unit
+(** Bracket a critical section ([true] on entry, [false] on exit) for
+    {!fault.Crash_in_cs} targeting. Op-neutral like {!now}: charges no
+    time, counts no op, executes no event — calling it cannot shift
+    benchmark numbers or fault anchors. *)
+
 val running : unit -> bool
 (** [now () < duration]. *)
 
@@ -124,4 +137,11 @@ val pause : unit -> unit
 
 val work : int -> unit
 (** Charge [ns] of pure compute to this thread (critical-section body,
-    think time). *)
+    think time). Occupies the thread's CPU: green threads timesharing
+    it queue behind the work. *)
+
+val sleep : int -> unit
+(** Advance this thread's clock by [ns] {e without} occupying its CPU —
+    a timer sleep. Green threads sharing the CPU run at full speed
+    during it (how the recovery watchdog idles between lease checks
+    while timesharing a benchmark thread's core). Counts no op. *)

@@ -262,6 +262,57 @@ let abort_induction ?(threads = 3) ?strategy ~mode () =
     scenario;
   }
 
+(* HMCS-T abort scenarios: the timed hierarchical lock under the model
+   checker. Vmem resolves every timed wait nondeterministically, so
+   both variants explore the grant/abandon CAS race at every tree
+   level:
+   - [~deadline:0] (already expired) drives the inherited-lock
+     branches — a cohort pass or parent grant that lands after expiry
+     must be relinquished (handed to a live successor or unwound with
+     a full release), never kept and never stranded;
+   - a generous deadline drives the climb paths, including a timeout
+     at the inner (parent) level that must abandon that level alone
+     while the already-owned level below is relinquished.
+   The cs monitor catches any exclusion breach on these paths; the
+   checker's deadlock detector catches a waiter stranded behind an
+   abandoned node (a grant handed to a departed waiter and never
+   recovered). *)
+module Hmcs_t_v = Clof_baselines.Hmcs_t.Make (Vmem)
+
+let hmcst_abort ?(threads = 3) ?strategy ~deadline ~mode () =
+  let scenario () =
+    let topo = mini_topo 2 in
+    let lock =
+      Hmcs_t_v.create ~h:2 ~topo ~hierarchy:(mini_hierarchy 2) ()
+    in
+    let data = Vmem.make ~name:"data" 0 in
+    List.init threads (fun cpu ->
+        let ctx = Hmcs_t_v.ctx_create lock ~cpu in
+        fun () ->
+          for _ = 1 to 2 do
+            if cpu = 0 then begin
+              if Hmcs_t_v.try_acquire lock ctx ~deadline then begin
+                payload data ();
+                Hmcs_t_v.release lock ctx
+              end
+            end
+            else begin
+              Hmcs_t_v.acquire lock ctx;
+              payload data ();
+              Hmcs_t_v.release lock ctx
+            end
+          done)
+  in
+  {
+    sname =
+      Printf.sprintf "abort/hmcst<2> %dT d%s [%s]" threads
+        (if deadline = 0 then "0" else "inf")
+        (mode_tag mode);
+    config = config_of ?strategy mode;
+    expect_violation = false;
+    scenario;
+  }
+
 let peterson ?strategy ~fenced ~mode () =
   let scenario () =
     let module P =
@@ -349,6 +400,14 @@ let suite ?(quick = false) ?strategy () =
             Option.map (entry Abort) (abort_step ?strategy ~mode l))
           [ "mcs"; "clh"; "tkt" ])
       modes
+    @ List.concat_map
+        (fun mode ->
+          List.map (entry Abort)
+            [
+              hmcst_abort ?strategy ~deadline:0 ~mode ();
+              hmcst_abort ?strategy ~deadline:max_int ~mode ();
+            ])
+        modes
   in
   let induction =
     List.map

@@ -71,6 +71,23 @@ val abort_induction :
     counterpart of the abortability induction step documented in
     {!Clof_core.Compose}. *)
 
+val hmcst_abort :
+  ?threads:int ->
+  ?strategy:Checker.strategy ->
+  deadline:int ->
+  mode:Vstate.mode ->
+  unit ->
+  named
+(** Abort safety of the timed hierarchical lock
+    ({!Clof_baselines.Hmcs_t}): one thread runs a timed acquisition on
+    a 2-level HMCS-T tree while two others block. The checker expires
+    timed waits nondeterministically, exploring the per-level
+    grant/abandon CAS race; [deadline = 0] drives the inherited-lock
+    relinquish branches (a pass landing after expiry), a generous
+    deadline the climb paths (inner-level timeout above an owned
+    level). Checks mutual exclusion and that no waiter is stranded
+    behind an abandoned node. *)
+
 val peterson :
   ?strategy:Checker.strategy -> fenced:bool -> mode:Vstate.mode -> unit -> named
 
@@ -92,9 +109,10 @@ type outcome = {
 
 val suite : ?quick:bool -> ?strategy:Checker.strategy -> unit -> entry list
 (** Every verification scenario: base steps for all registered locks
-    (SC + TSO), abort steps, induction steps (depth 2 SC + TSO, depth 3
-    SC unless [quick]), abort induction, Peterson exhibits. [strategy]
-    overrides the checker strategy on every entry (default DPOR). *)
+    (SC + TSO), abort steps (basic locks and HMCS-T, both deadline
+    variants), induction steps (depth 2 SC + TSO, depth 3 SC unless
+    [quick]), abort induction, Peterson exhibits. [strategy] overrides
+    the checker strategy on every entry (default DPOR). *)
 
 val run_suite :
   ?map:((entry -> outcome) -> entry list -> outcome list) ->

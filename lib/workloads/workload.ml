@@ -1,5 +1,6 @@
 module M = Clof_sim.Sim_mem
 module E = Clof_sim.Engine
+module Retry = Clof_locks.Retry.Make (M)
 open Clof_topology
 
 type params = {
@@ -111,6 +112,7 @@ type result = {
   hung : bool;
   aborted : bool;
   crashed : int list;
+  recoveries : int;
   transfers : (Clof_topology.Level.proximity * int) list;
   stats : Clof_stats.Stats.recorder;
   events : int;
@@ -118,8 +120,8 @@ type result = {
 
 exception Lock_failure of string
 
-let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
-    ~cpus ~spec (p : params) =
+let run_on_cpus ?(check = true) ?(faults = []) ?deadline ?watchdog
+    ~platform ~cpus ~spec (p : params) =
   let topo = platform.Platform.topo in
   let lock = spec.Clof_core.Runtime.instantiate topo in
   let nthreads = Array.length cpus in
@@ -141,12 +143,24 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
      shift the op counts that fault injection anchors to. *)
   let in_cs = M.make ~name:"probe.in_cs" 0 in
   let violated = M.make ~name:"probe.violated" false in
+  (* [owner] tracks which thread is inside the CS (-1 when none); the
+     watchdog reads it to name the victim of a holder crash, and
+     [E.cs_mark] brackets the section for [Crash_in_cs] targeting.
+     Both are op-neutral, so runs without faults or watchdog are
+     bit-identical to runs before they existed. *)
+  let owner = M.make ~name:"probe.owner" (-1) in
   let probe_enter () =
     let nesting = M.peek in_cs in
     M.poke in_cs (nesting + 1);
-    if nesting <> 0 then M.poke violated true
+    if nesting <> 0 then M.poke violated true;
+    M.poke owner (E.tid ());
+    E.cs_mark true
   in
-  let probe_exit () = M.poke in_cs (M.peek in_cs - 1) in
+  let probe_exit () =
+    M.poke in_cs (M.peek in_cs - 1);
+    M.poke owner (-1);
+    E.cs_mark false
+  in
   let ops =
     {
       op_work = E.work;
@@ -157,15 +171,74 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
       op_probe_exit = probe_exit;
     }
   in
+  (* In watchdog mode every thread's handle is created up front so the
+     watchdog can force-release through the dead holder's context —
+     the locks are thread-oblivious (DESIGN.md): a context acquired by
+     one thread may be released by another holding it. Context
+     creation performs no engine effects, so the hoisting is
+     behavior-neutral; the plain path is left untouched. *)
+  let handles =
+    match watchdog with
+    | None -> [||]
+    | Some _ ->
+        Array.mapi
+          (fun tid cpu ->
+            lock.Clof_core.Runtime.handle ~stats:recorders.(tid) ~cpu ())
+          cpus
+  in
   let body cpu tid =
     let stats = recorders.(tid) in
     let sink = Clof_stats.Stats.Sink.of_recorder stats in
-    let h = lock.Clof_core.Runtime.handle ~stats ~cpu () in
+    let h =
+      if watchdog = None then lock.Clof_core.Runtime.handle ~stats ~cpu ()
+      else handles.(tid)
+    in
     thread_body ops p ~deadline ~cpu ~tid ~handle:h ~sink ~counts
       ~last_progress
   in
+  let recoveries = ref 0 in
+  (* The recovery watchdog: an extra green thread that samples (CS
+     owner, total completed ops) once per [lease]. A full lease with
+     the same parked owner and zero completions anywhere means the
+     holder died inside its critical section (a live holder, even one
+     stalled by a fault, resumes well within a lease): reclaim by
+     repairing the probe, force-releasing through the victim's handle,
+     and — for truly abortable locks — confirming the lock serves
+     again with a deadline-sliced [Retry.retry_until] acquisition. *)
+  let watchdog_body lease _tid =
+    let wd_handle =
+      lock.Clof_core.Runtime.handle ~cpu:cpus.(0) ()
+    in
+    let total () = Array.fold_left ( + ) 0 counts in
+    let reclaim victim =
+      recoveries := !recoveries + 1;
+      M.poke owner (-1);
+      M.poke in_cs (M.peek in_cs - 1);
+      handles.(victim).Clof_core.Runtime.release ();
+      if lock.Clof_core.Runtime.l_abortable then begin
+        let ok =
+          Retry.retry_until
+            ~deadline:(E.now () + lease)
+            (fun ~deadline ->
+              wd_handle.Clof_core.Runtime.try_acquire ~deadline)
+        in
+        if ok then wd_handle.Clof_core.Runtime.release ()
+      end
+    in
+    let rec loop last_owner last_total =
+      E.sleep lease;
+      let o = M.peek owner and t = total () in
+      if o >= 0 && o = last_owner && t = last_total then reclaim o;
+      if E.running () then loop (M.peek owner) (total ())
+    in
+    loop (-1) (-1)
+  in
   let threads =
     Array.to_list (Array.map (fun cpu -> (cpu, body cpu)) cpus)
+    @
+    match watchdog with
+    | None -> []
+    | Some lease -> [ (cpus.(0), watchdog_body (max 1 lease)) ]
   in
   let o = E.run ~duration:p.duration ~faults ~platform ~threads () in
   if check then begin
@@ -194,11 +267,12 @@ let run_on_cpus ?(check = true) ?(faults = []) ?deadline ~platform
     hung = o.hung;
     aborted = o.aborted;
     crashed = o.E.crashed;
+    recoveries = !recoveries;
     transfers = o.E.transfers;
     stats = Clof_stats.Stats.merge_all (Array.to_list recorders);
     events = o.E.events;
   }
 
-let run ?check ?faults ?deadline ~platform ~nthreads ~spec p =
+let run ?check ?faults ?deadline ?watchdog ~platform ~nthreads ~spec p =
   let cpus = Topology.pick_cpus platform.Platform.topo ~nthreads in
-  run_on_cpus ?check ?faults ?deadline ~platform ~cpus ~spec p
+  run_on_cpus ?check ?faults ?deadline ?watchdog ~platform ~cpus ~spec p

@@ -87,8 +87,11 @@ type result = {
   hung : bool;
   aborted : bool;
   crashed : int list;
-      (** threads killed by an injected {!Clof_sim.Engine.Crash}
-          fault (empty without fault injection) *)
+      (** threads killed by an injected crash fault (empty without
+          fault injection) *)
+  recoveries : int;
+      (** holder-crash reclaims performed by the watchdog (0 without
+          [~watchdog]) *)
   transfers : (Clof_topology.Level.proximity * int) list;
       (** cache-line transfers by distance class during the run — the
           direct measurement of handover locality *)
@@ -111,6 +114,7 @@ val run :
   ?check:bool ->
   ?faults:Clof_sim.Engine.fault list ->
   ?deadline:int ->
+  ?watchdog:int ->
   platform:Clof_topology.Platform.t ->
   nthreads:int ->
   spec:Clof_core.Runtime.spec ->
@@ -128,12 +132,27 @@ val run :
     attempt calls [try_acquire] with a per-attempt budget of [deadline]
     simulated ns; a timed-out attempt records a timeout in the
     thread's stats, thinks, and retries. Omitted, acquisitions
-    block. *)
+    block.
+
+    [watchdog] arms the crash-recovery watchdog with a lease of that
+    many simulated ns: an extra green thread (timesharing the first
+    CPU) samples the critical-section owner and total completions once
+    per lease, and when a full lease passes with the same parked owner
+    and zero progress it declares the holder dead, repairs the
+    mutual-exclusion probe, force-releases the lock through the
+    victim's context (every lock here is thread-oblivious), and — for
+    [l_abortable] locks — re-verifies service with a bounded
+    {!Clof_locks.Retry} acquisition. Reclaims are counted in
+    [recoveries]. The lease must comfortably exceed both the longest
+    legitimate zero-progress window (e.g. an injected stall) and one
+    critical section. Omitted, no watchdog runs and the simulation is
+    bit-identical to one before the watchdog existed. *)
 
 val run_on_cpus :
   ?check:bool ->
   ?faults:Clof_sim.Engine.fault list ->
   ?deadline:int ->
+  ?watchdog:int ->
   platform:Clof_topology.Platform.t ->
   cpus:int array ->
   spec:Clof_core.Runtime.spec ->

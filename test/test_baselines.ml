@@ -78,6 +78,155 @@ let test_hmcs_spec_name () =
     "name" "hmcs<3>"
     (Hmcs.spec ~hierarchy:(Platform.hier3 Platform.tiny) ()).RT.s_name
 
+(* ---------- HMCS-T ---------- *)
+
+module HmcsT = Clof_baselines.Hmcs_t.Make (M)
+
+let test_hmcst_depths () =
+  List.iter
+    (fun depth ->
+      let spec =
+        HmcsT.spec
+          ~hierarchy:(Platform.hierarchy_of_depth Platform.tiny depth)
+          ()
+      in
+      check_correct
+        (Printf.sprintf "hmcst<%d>" depth)
+        spec ~nthreads:16 ~iters:100)
+    [ 2; 3; 4 ]
+
+let test_hmcst_small_threshold () =
+  let spec = HmcsT.spec ~h:1 ~hierarchy:(Platform.hier4 Platform.tiny) () in
+  check_correct "hmcst h=1" spec ~nthreads:16 ~iters:100
+
+let test_hmcst_metadata () =
+  let spec = HmcsT.spec ~hierarchy:(Platform.hier3 Platform.tiny) () in
+  Alcotest.(check string) "name" "hmcst<3>" spec.RT.s_name;
+  let lock = spec.RT.instantiate Platform.tiny.Platform.topo in
+  check_bool "fair" true lock.RT.l_fair;
+  check_bool "abortable" true lock.RT.l_abortable
+
+(* One holder, one timed waiter whose deadline lands inside the hold:
+   the attempt must fail, and the same context must then succeed both
+   on the timed path (generous deadline) and the blocking path — the
+   abandoned node left in the queue is skipped by the release walk and
+   the replacement node keeps the context reusable. *)
+let test_hmcst_timeout_then_reuse () =
+  let platform = Platform.tiny in
+  let t =
+    HmcsT.create ~topo:platform.Platform.topo
+      ~hierarchy:(Platform.hier2 platform) ()
+  in
+  let entries = ref 0 in
+  let in_cs = ref 0 in
+  let overlaps = ref 0 in
+  let cs work =
+    incr in_cs;
+    if !in_cs <> 1 then incr overlaps;
+    E.work work;
+    incr entries;
+    decr in_cs
+  in
+  let timed_out = ref false in
+  let timed_won = ref false in
+  let holder _tid =
+    let ctx = HmcsT.ctx_create t ~cpu:0 in
+    HmcsT.acquire t ctx;
+    cs 20_000;
+    HmcsT.release t ctx
+  in
+  let waiter _tid =
+    let ctx = HmcsT.ctx_create t ~cpu:1 in
+    E.work 1_000;
+    (* expires mid-hold: must abandon *)
+    if not (HmcsT.try_acquire t ctx ~deadline:(E.now () + 2_000)) then
+      timed_out := true;
+    (* generous deadline: granted once the holder releases *)
+    if HmcsT.try_acquire t ctx ~deadline:(E.now () + 200_000) then begin
+      timed_won := true;
+      cs 100;
+      HmcsT.release t ctx
+    end;
+    (* and the blocking path still works on the same context *)
+    HmcsT.acquire t ctx;
+    cs 100;
+    HmcsT.release t ctx
+  in
+  let o =
+    E.run ~duration:max_int ~platform
+      ~threads:[ (0, holder); (1, waiter) ]
+      ()
+  in
+  check_bool "no hang" true (not o.E.hung);
+  check_bool "timed out mid-hold" true !timed_out;
+  check_bool "timed retry won" true !timed_won;
+  check_int "entries" 3 !entries;
+  check_int "overlap" 0 !overlaps
+
+(* Two waiters abandon mid-queue while a third keeps holding; the
+   release walk must skip both corpses and every context must stay
+   usable for a subsequent blocking acquisition. *)
+let test_hmcst_abandon_mid_queue () =
+  let platform = Platform.tiny in
+  let t =
+    HmcsT.create ~topo:platform.Platform.topo
+      ~hierarchy:(Platform.hier3 platform) ()
+  in
+  let entries = ref 0 in
+  let in_cs = ref 0 in
+  let overlaps = ref 0 in
+  let timeouts = ref 0 in
+  let cs work =
+    incr in_cs;
+    if !in_cs <> 1 then incr overlaps;
+    E.work work;
+    incr entries;
+    decr in_cs
+  in
+  let holder _tid =
+    let ctx = HmcsT.ctx_create t ~cpu:0 in
+    HmcsT.acquire t ctx;
+    cs 30_000;
+    HmcsT.release t ctx
+  in
+  let waiter cpu delay _tid =
+    let ctx = HmcsT.ctx_create t ~cpu in
+    E.work delay;
+    if not (HmcsT.try_acquire t ctx ~deadline:(E.now () + 2_000)) then
+      incr timeouts;
+    HmcsT.acquire t ctx;
+    cs 100;
+    HmcsT.release t ctx
+  in
+  let o =
+    E.run ~duration:max_int ~platform
+      ~threads:[ (0, holder); (1, waiter 1 1_000); (2, waiter 2 1_500) ]
+      ()
+  in
+  check_bool "no hang" true (not o.E.hung);
+  check_int "both timed out" 2 !timeouts;
+  check_int "entries" 3 !entries;
+  check_int "overlap" 0 !overlaps
+
+(* The full benchmark harness on the timed path: contended enough that
+   deadlines fire, yet everything must recover and keep completing. *)
+let test_hmcst_timed_workload () =
+  let spec = HmcsT.spec ~hierarchy:(Platform.hier2 Platform.tiny) () in
+  let r =
+    W.run ~deadline:1_000 ~platform:Platform.tiny ~nthreads:16 ~spec
+      {
+        W.duration = 150_000;
+        cs_reads = 2;
+        cs_writes = 2;
+        cs_work = 200;
+        noncs_work = 500;
+      }
+  in
+  check_bool "no hang" true (not r.W.hung);
+  check_bool "made progress" true (r.W.total_ops > 0);
+  check_bool "observed abandonment" true
+    (Clof_stats.Stats.timeouts r.W.stats > 0)
+
 (* ---------- CNA ---------- *)
 
 let test_cna_correct () =
@@ -158,6 +307,18 @@ let () =
           Alcotest.test_case "bad hierarchy" `Quick
             test_hmcs_rejects_bad_hierarchy;
           Alcotest.test_case "spec name" `Quick test_hmcs_spec_name;
+        ] );
+      ( "hmcs-t",
+        [
+          Alcotest.test_case "depths 2-4" `Quick test_hmcst_depths;
+          Alcotest.test_case "h=1" `Quick test_hmcst_small_threshold;
+          Alcotest.test_case "metadata" `Quick test_hmcst_metadata;
+          Alcotest.test_case "timeout then reuse" `Quick
+            test_hmcst_timeout_then_reuse;
+          Alcotest.test_case "abandon mid-queue" `Quick
+            test_hmcst_abandon_mid_queue;
+          Alcotest.test_case "timed workload" `Quick
+            test_hmcst_timed_workload;
         ] );
       ( "cna",
         [

@@ -317,6 +317,33 @@ let test_faults_stall_abortable_recovers () =
         row.Ex.fr_cells)
     abortables
 
+(* ISSUE acceptance: a holder crash inside the critical section never
+   wedges a true-abort lock — the watchdog reclaims ownership through
+   the timed-acquire path and confirms the lock is serviceable again. *)
+let test_faults_crash_hold_recovered () =
+  let rows = Lazy.force fault_rows in
+  let abortables = List.filter (fun r -> r.Ex.fr_abortable) rows in
+  check_bool "panel has abortable rows" true (abortables <> []);
+  List.iter
+    (fun row ->
+      List.iter
+        (fun c ->
+          if
+            String.length c.Ex.fc_fault >= 10
+            && String.sub c.Ex.fc_fault 0 10 = "crash-hold"
+          then begin
+            Alcotest.(check string)
+              (row.Ex.fr_lock ^ "/" ^ c.Ex.fc_fault ^ " recovered")
+              "recovered"
+              (Ex.class_to_string c.Ex.fc_class);
+            check_bool
+              (row.Ex.fr_lock ^ "/" ^ c.Ex.fc_fault
+             ^ " watchdog reclaimed")
+              true (c.Ex.fc_recoveries > 0)
+          end)
+        row.Ex.fr_cells)
+    abortables
+
 let test_faults_gate_passes () =
   check_int "no fair lock wedged by a stall" 0
     (List.length (Ex.fault_gate (Lazy.force fault_rows)))
@@ -378,6 +405,8 @@ let () =
             test_faults_baseline_recovers;
           Alcotest.test_case "stall vs abortable" `Slow
             test_faults_stall_abortable_recovers;
+          Alcotest.test_case "holder crash recovered" `Slow
+            test_faults_crash_hold_recovered;
           Alcotest.test_case "gate passes" `Slow test_faults_gate_passes;
           Alcotest.test_case "experiment renders" `Slow
             test_faults_experiment_renders;

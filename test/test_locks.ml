@@ -340,6 +340,94 @@ let test_timed_mutex_all_locks () =
       check_bool (name ^ ": no hang") true (not o.E.hung))
     (all_locks ())
 
+(* ---------- expired-deadline property (qcheck) ---------- *)
+
+module RT = Clof_core.Runtime
+module G = Clof_core.Generator.Make (M)
+module HmcsT = Clof_baselines.Hmcs_t.Make (M)
+
+(* Every Registry lock with a non-blocking timed path, flat and
+   hierarchical: the basics, 2-level CLoF compositions, and HMCS-T at
+   depths 2 and 3. (HMCS/CNA/ShflLock declare no abort capability and
+   block; the fault harness's capability audit covers them.) *)
+let expired_specs =
+  lazy
+    (let p = Platform.tiny in
+     List.map RT.of_basic (all_locks ())
+     @ List.filter_map
+         (fun n ->
+           Option.map
+             (RT.of_clof ~hierarchy:(Platform.hier2 p))
+             (G.of_name ~basics:(R.basics ~ctr:false) n))
+         [ "tkt-mcs"; "mcs-clh"; "tkt-clh" ]
+     @ [
+         HmcsT.spec ~hierarchy:(Platform.hier2 p) ();
+         HmcsT.spec ~hierarchy:(Platform.hier3 p) ();
+       ])
+
+(* The property behind the capability story: a [try_acquire] whose
+   deadline has already expired, issued against a lock someone else
+   holds, must (a) return false, (b) return promptly — never ride out
+   the holder, (c) leave the victim's context reusable, and (d) leave
+   the lock acquirable by a third thread. Randomizes the lock, the
+   hold length, and the victim's CPU (same and remote cohorts). *)
+let prop_expired_deadline =
+  QCheck.Test.make
+    ~name:"expired deadline: refused promptly, lock left serviceable"
+    ~count:60
+    QCheck.(
+      triple (int_bound 1000) (int_range 10_000 40_000) (int_bound 2))
+    (fun (pick, hold, vcpu) ->
+      let specs = Lazy.force expired_specs in
+      let spec = List.nth specs (pick mod List.length specs) in
+      let p = Platform.tiny in
+      let lock = spec.RT.instantiate p.Platform.topo in
+      let victim_cpu = 1 + vcpu in
+      let refused = ref false
+      and held_throughout = ref false
+      and prompt = ref false
+      and ctx_reusable = ref false
+      and third_served = ref false in
+      let holding = ref false in
+      let gate = M.make ~name:"gate" false in
+      let holder _tid =
+        let h = lock.RT.handle ~cpu:0 () in
+        h.RT.acquire ();
+        holding := true;
+        M.store gate true;
+        E.work hold;
+        holding := false;
+        h.RT.release ()
+      in
+      let victim _tid =
+        let h = lock.RT.handle ~cpu:victim_cpu () in
+        ignore (M.await gate (fun b -> b));
+        let t0 = E.now () in
+        let ok = h.RT.try_acquire ~deadline:t0 in
+        refused := not ok;
+        held_throughout := !holding;
+        prompt := E.now () - t0 <= 5_000;
+        h.RT.acquire ();
+        ctx_reusable := true;
+        h.RT.release ()
+      in
+      let third _tid =
+        let h = lock.RT.handle ~cpu:4 () in
+        ignore (M.await gate (fun b -> b));
+        h.RT.acquire ();
+        third_served := true;
+        h.RT.release ()
+      in
+      let o =
+        E.run ~duration:max_int ~platform:p
+          ~threads:[ (0, holder); (victim_cpu, victim); (4, third) ]
+          ()
+      in
+      (not o.E.hung) && !refused && !held_throughout && !prompt
+      && !ctx_reusable && !third_served)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
 (* ---------- peterson ---------- *)
 
 let test_peterson_slots () =
@@ -437,6 +525,7 @@ let () =
             test_abandon_mid_queue;
           Alcotest.test_case "timed mutex, 8 threads" `Quick
             test_timed_mutex_all_locks;
+          qcheck prop_expired_deadline;
         ] );
       ( "peterson",
         [

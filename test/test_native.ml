@@ -168,6 +168,58 @@ let test_mutex_stress () =
               (r.Native.total_ops > 0))
       (specs ~ctr:true)
 
+(* The expired-deadline contract on real domains: a [try_acquire]
+   whose deadline has already passed, issued while another domain holds
+   the lock, must return false without waiting the holder out, and the
+   lock must remain serviceable for a third party afterwards. Runs over
+   every lock with a non-blocking timed path — flats, compositions, and
+   HMCS-T on the host hierarchy. *)
+module HmcsT = Clof_baselines.Hmcs_t.Make (M)
+
+let test_expired_deadline () =
+  if stress_domains < 2 then Alcotest.skip ()
+  else
+    let p = Lazy.force host in
+    let hierarchy = Hosttopo.hierarchy p in
+    let expired_specs =
+      specs ~ctr:false @ [ HmcsT.spec ~hierarchy () ]
+    in
+    List.iter
+      (fun (spec : RT.spec) ->
+        let name = spec.RT.s_name in
+        let lock = spec.RT.instantiate p.Platform.topo in
+        let holder = lock.RT.handle ~cpu:0 () in
+        let held = Atomic.make true in
+        holder.RT.acquire ();
+        let victim =
+          Domain.spawn (fun () ->
+              let h = lock.RT.handle ~cpu:1 () in
+              let refused = not (h.RT.try_acquire ~deadline:(M.now ())) in
+              (refused, Atomic.get held))
+        in
+        let refused, still_held = Domain.join victim in
+        check_bool (name ^ ": expired deadline refused") true refused;
+        check_bool (name ^ ": refused before holder released") true
+          still_held;
+        Atomic.set held false;
+        holder.RT.release ();
+        (* the abandoned attempt must not have corrupted the queue:
+           a fresh party with a generous deadline gets served *)
+        let third =
+          Domain.spawn (fun () ->
+              let h =
+                lock.RT.handle ~cpu:(min 1 (stress_domains - 1)) ()
+              in
+              let got =
+                h.RT.try_acquire ~deadline:(M.now () + 1_000_000_000)
+              in
+              if got then h.RT.release ();
+              got)
+        in
+        check_bool (name ^ ": lock serviceable afterwards") true
+          (Domain.join third))
+      expired_specs
+
 let test_deadline_path () =
   if stress_domains < 2 then Alcotest.skip ()
   else
@@ -207,5 +259,7 @@ let () =
             test_mutex_stress;
           Alcotest.test_case "timed acquisitions" `Quick
             test_deadline_path;
+          Alcotest.test_case "expired deadline on domains" `Quick
+            test_expired_deadline;
         ] );
     ]

@@ -51,6 +51,7 @@ let test_broken_lock_detected () =
         (fun _ ->
           {
             RT.l_name = "broken";
+            l_fair = false;
             l_abortable = false;
             handle =
               (fun ?stats:_ ~cpu:_ () ->
