@@ -72,12 +72,18 @@ let pp_verify label (r : Report.t) =
             match slot 1 with
             | None -> ()
             | Some p ->
+                let exhaustive =
+                  match slot 5 with
+                  | Some q -> q.Report.jain >= 1.0
+                  | None -> false
+                in
                 Printf.printf
                   "  %-40s %7d execs %9d steps %-10s [%d pruned, %d \
-                   sleep, %d races, %d complete]\n"
+                   sleep, %d races, %d complete%s]\n"
                   s.Report.lock p.Report.total_ops p.Report.sim_ns
                   (if p.Report.jain >= 1.0 then "ok" else "UNEXPECTED")
-                  (ops 2) (ops 3) (ops 4) (ops 5))
+                  (ops 2) (ops 3) (ops 4) (ops 5)
+                  (if exhaustive then ", exhaustive" else ""))
           e.Report.series
       end)
     r.experiments

@@ -107,12 +107,52 @@ let sim quick jobs out =
         Clof_harness.Report.schema_version;
       `Ok ()
 
-let verify quick jobs naive out =
-  set_jobs jobs;
+(* One-command repro of a CI differential failure: the seed fully
+   determines the random program, so `clof_bench verify --seed N
+   --memmode tso` replays exactly the DPOR-vs-oracle comparison that
+   failed. *)
+let verify_seed memmode seed =
+  let module D = Clof_verify.Differential in
+  let modes =
+    match memmode with
+    | Some m -> [ m ]
+    | None ->
+        [ Clof_verify.Vstate.Sc; Clof_verify.Vstate.Tso;
+          Clof_verify.Vstate.Relaxed ]
+  in
+  let prog = D.generate ~seed in
+  Printf.printf "seed %d: %s\n" seed (D.to_string prog);
+  let bad =
+    List.filter_map
+      (fun mode ->
+        let tag = Clof_verify.Scenarios.mode_tag mode in
+        match D.run ~mode prog with
+        | D.Agree ->
+            Printf.printf "  [%s] dpor = naive\n" tag;
+            None
+        | D.Skipped why ->
+            Printf.printf "  [%s] skipped: %s\n" tag why;
+            None
+        | D.Disagree why ->
+            Printf.printf "  [%s] DISAGREE: %s\n" tag why;
+            Some tag)
+      modes
+  in
+  if bad = [] then `Ok ()
+  else
+    `Error
+      ( false,
+        Printf.sprintf "differential seed %d: strategies disagree under %s"
+          seed
+          (String.concat ", " bad) )
+
+let verify_suite quick naive memmode out =
   let strategy =
     if naive then Some Clof_verify.Checker.Naive else None
   in
-  let outcomes = Clof_harness.Verifybench.run ~quick ?strategy () in
+  let outcomes =
+    Clof_harness.Verifybench.run ~quick ?strategy ?mode:memmode ()
+  in
   Clof_harness.Verifybench.pp Format.std_formatter outcomes;
   Format.pp_print_flush Format.std_formatter ();
   let doc =
@@ -145,6 +185,12 @@ let verify quick jobs naive out =
                           .Clof_verify.Scenarios.e_named
                           .Clof_verify.Scenarios.sname)
                       bad)) ))
+
+let verify quick jobs naive memmode seed out =
+  set_jobs jobs;
+  match seed with
+  | Some seed -> verify_seed memmode seed
+  | None -> verify_suite quick naive memmode out
 
 let xval quick jobs out min_corr =
   set_jobs jobs;
@@ -294,10 +340,14 @@ let sim_cmd =
 let verify_cmd =
   let doc =
     "Model-check the whole verification suite (base steps, abortable \
-     steps, induction steps and the A4 exhibits under SC and TSO) and \
+     steps, induction steps, the A4 exhibits, and the weak-memory \
+     litmus battery, under SC, TSO, and relaxed store buffers) and \
      write the exploration statistics as a JSON report. Fails when any \
      scenario's verdict does not match its expectation (the CI \
-     verification gate); the statistics themselves never gate."
+     verification gate); the statistics themselves never gate. With \
+     $(b,--seed), instead replay one DPOR-vs-oracle differential on the \
+     random program that seed denotes — the one-command repro for a CI \
+     differential failure."
   in
   let naive =
     Arg.(
@@ -307,6 +357,34 @@ let verify_cmd =
             "Explore with the exhaustive DFS oracle instead of DPOR \
              (slow; for differential runs).")
   in
+  let memmode =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("sc", Clof_verify.Vstate.Sc);
+                  ("tso", Clof_verify.Vstate.Tso);
+                  ("rlx", Clof_verify.Vstate.Relaxed);
+                ]))
+          None
+      & info [ "memmode" ] ~docv:"MODE"
+          ~doc:
+            "Restrict to one memory mode (sc, tso, rlx): only that \
+             mode's suite entries, or with $(b,--seed) only that \
+             mode's differential. Default: all three.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Run the randomized DPOR-vs-naive differential on the \
+             program generated by seed $(docv) instead of the suite. \
+             Exits nonzero if the strategies disagree.")
+  in
   let out =
     Arg.(
       value
@@ -315,7 +393,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc)
-    Term.(ret (const verify $ quick $ jobs_arg $ naive $ out))
+    Term.(ret (const verify $ quick $ jobs_arg $ naive $ memmode $ seed $ out))
 
 let xval_cmd =
   let doc =

@@ -53,6 +53,16 @@ module type S = sig
       identities — never freshly allocated boxes. *)
 
   val exchange : 'a aref -> 'a -> 'a
+  (** Atomic swap. Like every RMW in this interface ([cas],
+      [fetch_add], [store ~rmw:true], and [cas] even when it fails),
+      it is sequentially consistent and {e drains the issuing thread's
+      store buffer}: the weak-memory checker models RMWs as fenced
+      (x86-style; an Armv8 backend would need its AMOs barriered to
+      match). This contract is load-bearing for the fence audit in
+      EXPERIMENTS.md — several release annotations were downgraded to
+      relaxed because they directly follow an RMW that already
+      committed everything older, and those verdicts are sound only on
+      backends that honor the drain. *)
 
   val fetch_add : int aref -> int -> int
 

@@ -13,7 +13,10 @@
      slot 2: total_ops = pruned executions
      slot 3: total_ops = sleep-set hits
      slot 4: total_ops = race-driven backtrack points
-     slot 5: total_ops = complete (quiescent) executions
+     slot 5: total_ops = complete (quiescent) executions,
+             jain = 1.0 when the exploration was exhaustive (frontier
+             drained within the execution budget) else 0.0 — a
+             truncated exploration can never ship jain 1.0 here
 
    The verdict gate is separate from the report: CI fails on any
    outcome whose verdict does not match the scenario's expectation
@@ -25,8 +28,17 @@ module C = Clof_verify.Checker
 
 type outcome = S.outcome
 
-let run ?(quick = false) ?strategy () =
-  S.run_suite ~map:Clof_exec.Exec.map (S.suite ~quick ?strategy ())
+let run ?(quick = false) ?strategy ?mode () =
+  let entries = S.suite ~quick ?strategy () in
+  let entries =
+    match mode with
+    | None -> entries
+    | Some m ->
+        List.filter
+          (fun e -> C.Config.mode e.S.e_named.S.config = m)
+          entries
+  in
+  S.run_suite ~map:Clof_exec.Exec.map entries
 
 let gate outcomes = List.filter (fun o -> not o.S.o_ok) outcomes
 
@@ -65,7 +77,8 @@ let to_report ?(quick = false) outcomes =
               point ~slot:2 ~ops:r.C.pruned ~ns:0 ~tp:0.0 ~jain:1.0;
               point ~slot:3 ~ops:r.C.sleep_hits ~ns:0 ~tp:0.0 ~jain:1.0;
               point ~slot:4 ~ops:r.C.races ~ns:0 ~tp:0.0 ~jain:1.0;
-              point ~slot:5 ~ops:r.C.complete ~ns:0 ~tp:0.0 ~jain:1.0;
+              point ~slot:5 ~ops:r.C.complete ~ns:0 ~tp:0.0
+                ~jain:(if r.C.exhaustive then 1.0 else 0.0);
             ];
         })
       outcomes

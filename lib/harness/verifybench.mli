@@ -16,11 +16,16 @@
 type outcome = Clof_verify.Scenarios.outcome
 
 val run :
-  ?quick:bool -> ?strategy:Clof_verify.Checker.strategy -> unit -> outcome list
+  ?quick:bool ->
+  ?strategy:Clof_verify.Checker.strategy ->
+  ?mode:Clof_verify.Vstate.mode ->
+  unit ->
+  outcome list
 (** Check the whole suite on the default executor ([Exec.map]; [-j]
     controls parallelism). [quick] drops the depth-3 induction step;
     [strategy] forces one exploration strategy on every entry (default
-    DPOR). *)
+    DPOR); [mode] keeps only the entries checked under that memory
+    mode (the per-mode CI gates). *)
 
 val gate : outcome list -> outcome list
 (** Outcomes whose verdict did not match the scenario's expectation:

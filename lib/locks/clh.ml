@@ -70,12 +70,17 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
   let try_acquire t ctx ~deadline =
     let prev = enqueue t ctx in
     let abort p =
-      (* Publish our watch target first, then the mark: a successor
-         that sees [abandoned] must find where to re-link to. If the
-         grant lands on [p] concurrently, nothing is lost — our
-         successor inherits the watch on [p] and takes the lock. *)
-      M.store ~o:Release ctx.mine.pred_slot (Some p);
-      M.store ~o:Release ctx.mine.status abandoned;
+      (* Publish our watch target and the mark. Relaxed is enough for
+         both (checker-proved per mode; see the fence audit in
+         EXPERIMENTS.md): a successor that sees [abandoned] before the
+         slot commits simply keeps awaiting [pred_slot] — the
+         publication order is a liveness nicety, not a safety edge,
+         because [p] is an already-published node and every reader of
+         the slot waits for it to become [Some]. If the grant lands on
+         [p] concurrently, nothing is lost — our successor inherits
+         the watch on [p] and takes the lock. *)
+      M.store ~o:Relaxed ctx.mine.pred_slot (Some p);
+      M.store ~o:Relaxed ctx.mine.status abandoned;
       ctx.mine <- mk_node ?node:ctx.home available;
       false
     in

@@ -46,7 +46,13 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     let n = ctx.cur in
     let prev = enqueue t n in
     if prev != t.nil then begin
-      M.store ~o:Release prev.next (Some n);
+      (* Relaxed is enough for the link: the tail exchange just above
+         committed every earlier store of this thread (node init), so
+         there is nothing left for a release to order — a delayed
+         commit only delays when the predecessor finds us, and both
+         release walks await the link. Checker-proved per mode; see the
+         fence audit in EXPERIMENTS.md. *)
+      M.store ~o:Relaxed prev.next (Some n);
       ignore (M.await n.status (fun s -> s = granted))
     end
 
@@ -67,7 +73,8 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
     let prev = enqueue t n in
     if prev == t.nil then true
     else begin
-      M.store ~o:Release prev.next (Some n);
+      (* Relaxed for the same reason as in [acquire] *)
+      M.store ~o:Relaxed prev.next (Some n);
       match M.await_until n.status ~deadline (fun s -> s = granted) with
       | Some _ -> true
       | None ->

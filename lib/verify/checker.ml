@@ -70,6 +70,13 @@ let tso ?(preemptions = 2) ?(delays = 2) () =
     delay_bound = delays;
   }
 
+let relaxed ?(preemptions = 2) ?(delays = 2) () =
+  {
+    (Config.make ~mode:Vstate.Relaxed ()) with
+    preemption_bound = preemptions;
+    delay_bound = delays;
+  }
+
 type violation =
   | Property of string
   | Deadlock of string
@@ -89,10 +96,23 @@ type report = {
   races : int; (* backtrack points scheduled from detected races *)
   violation : (violation * string list) option;
   truncated : bool;
+  exhaustive : bool;
+      (* the exploration frontier drained: every schedule within the
+         preemption/delay bounds was covered. Structurally false
+         whenever [truncated] (the execution budget cut the frontier)
+         or a violation stopped the search early — a truncated run can
+         never claim completeness. *)
   seconds : float;
 }
 
-type choice = Step of int | Flush of int
+(* Step: run a thread. Flush: commit the FIFO head of a thread's store
+   buffer (TSO). Flush_obj: commit a thread's oldest buffered store to
+   one location (Relaxed — the buffer is FIFO per location only, so
+   each buffered location is its own flush choice and stores to
+   different locations commit in either order). Object ids are
+   run-deterministic, so a Flush_obj denotes the same transition when a
+   prefix is replayed. *)
+type choice = Step of int | Flush of int | Flush_obj of int * int
 
 let cs_enter () =
   let run = Vstate.the_run () in
@@ -282,7 +302,7 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
   let unbounded b = b < 0 in
   (* cost of a choice: (preemptions, delays) *)
   let cost last = function
-    | Flush _ -> (0, 0)
+    | Flush _ | Flush_obj _ -> (0, 0)
     | Step i ->
         let p =
           if last < 0 || i = last then 0
@@ -299,7 +319,7 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
         in
         let d =
           if
-            cfg.mode = Vstate.Tso
+            cfg.mode <> Vstate.Sc
             && not (Queue.is_empty threads.(i).Vstate.buffer)
           then 1
           else 0
@@ -310,6 +330,27 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
     match Queue.peek_opt th.Vstate.buffer with
     | Some (_, obj, _) -> { Vstate.no_access with writes = [ obj ] }
     | None -> Vstate.no_access
+  in
+  (* relaxed mode: one flush choice per distinct buffered location *)
+  let flush_choices th =
+    let seen = ref [] in
+    Queue.iter
+      (fun (_, obj, _) ->
+        if not (List.mem obj !seen) then seen := obj :: !seen)
+      th.Vstate.buffer;
+    List.rev_map
+      (fun obj ->
+        ( Flush_obj (th.Vstate.tid, obj),
+          { Vstate.no_access with writes = [ obj ] } ))
+      !seen
+  in
+  let buffer_choices th acc =
+    if Queue.is_empty th.Vstate.buffer then acc
+    else
+      match cfg.mode with
+      | Vstate.Sc -> acc
+      | Vstate.Tso -> (Flush th.Vstate.tid, flush_access th) :: acc
+      | Vstate.Relaxed -> flush_choices th @ acc
   in
   let enabled () =
     let acc = ref [] in
@@ -322,8 +363,7 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
         | Vstate.Waiting (_, a, pred, _) ->
             if pred () then acc := (Step th.Vstate.tid, a) :: !acc
         | Vstate.Finished -> ());
-        if cfg.mode = Vstate.Tso && not (Queue.is_empty th.Vstate.buffer)
-        then acc := (Flush th.Vstate.tid, flush_access th) :: !acc)
+        acc := buffer_choices th !acc)
       threads;
     List.rev !acc
   in
@@ -331,6 +371,7 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
      used when a replayed prefix choice is not in the enabled list *)
   let pending_access = function
     | Flush i -> flush_access threads.(i)
+    | Flush_obj (_, obj) -> { Vstate.no_access with writes = [ obj ] }
     | Step i -> (
         match threads.(i).Vstate.status with
         | Vstate.Not_started _ | Vstate.Finished -> Vstate.no_access
@@ -349,8 +390,7 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
         | Vstate.Ready (_, a, _) | Vstate.Waiting (_, a, _, _) ->
             acc := (Step th.Vstate.tid, a) :: !acc
         | Vstate.Finished -> ());
-        if cfg.mode = Vstate.Tso && not (Queue.is_empty th.Vstate.buffer)
-        then acc := (Flush th.Vstate.tid, flush_access th) :: !acc)
+        acc := buffer_choices th !acc)
       threads;
     !acc
   in
@@ -360,6 +400,24 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
         let desc, _, commit = Queue.pop th.Vstate.buffer in
         run.trace <- (i, desc) :: run.trace;
         commit ()
+    | Flush_obj (i, obj) ->
+        (* commit the oldest buffered store to [obj]; entries for other
+           locations keep their places *)
+        let th = threads.(i) in
+        let keep = Queue.create () in
+        let popped = ref None in
+        Queue.iter
+          (fun ((desc, o, commit) as e) ->
+            if o = obj && !popped = None then popped := Some (desc, commit)
+            else Queue.add e keep)
+          th.Vstate.buffer;
+        Queue.clear th.Vstate.buffer;
+        Queue.transfer keep th.Vstate.buffer;
+        (match !popped with
+        | Some (desc, commit) ->
+            run.trace <- (i, desc) :: run.trace;
+            commit ()
+        | None -> assert false)
     | Step i -> (
         let th = threads.(i) in
         th.Vstate.steps <- th.Vstate.steps + 1;
@@ -473,7 +531,7 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
                    (* rotate among free steps by window share so default
                       schedules are fair to spinners *)
                    let weight = function
-                     | Flush _ -> -1
+                     | Flush _ | Flush_obj _ -> -1
                      | Step i -> threads.(i).Vstate.window_steps
                    in
                    let pick =
@@ -508,6 +566,18 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
                taken := chosen :: !taken;
                let writes_before = run.Vstate.writes in
                execute chosen;
+               let wrote = run.Vstate.writes > writes_before in
+               (* reads-from refinement: declared accesses
+                  over-approximate; once executed we know whether the
+                  step committed anything. A failed CAS (or a CAS whose
+                  reservation was lost) declared a write but acted as a
+                  pure read — retiring sleepers against the executed
+                  access keeps them asleep across it, exactly as GenMC
+                  treats a failed RMW as its read component. *)
+               let eff =
+                 if wrote then access
+                 else { access with Vstate.writes = [] }
+               in
                if dpor then
                  infos :=
                    {
@@ -515,16 +585,18 @@ let run_once cfg scenario ~sleep0 (prefix : choice array) =
                      pi_access = access;
                      pi_enabled = affordable;
                      pi_sleep = !sleep;
-                     pi_wrote = run.Vstate.writes > writes_before;
+                     pi_wrote = wrote;
                    }
                    :: !infos;
                if dpor && pos >= plen then
                  sleep :=
                    List.filter
-                     (fun (_, sa) -> not (conflicts sa access))
+                     (fun (_, sa) -> not (conflicts sa eff))
                      !sleep;
                let last' =
-                 match chosen with Step i -> i | Flush _ -> last
+                 match chosen with
+                 | Step i -> i
+                 | Flush _ | Flush_obj _ -> last
                in
                loop (pos + 1) (preempts + p) (delays + d) last'
          end
@@ -608,6 +680,7 @@ let naive_check config name scenario =
     races = 0;
     violation = !violation;
     truncated = !truncated;
+    exhaustive = (not !truncated) && !violation = None;
     seconds = Sys.time () -. t0;
   }
 
@@ -682,15 +755,59 @@ let dpor_check cfg name scenario =
   (* Vector-clock pass over one recorded execution: detect races
      (conflicting accesses not ordered by happens-before) and schedule
      the reversal at the earlier access's node. Procs are 2*tid for the
-     thread and 2*tid+1 for its store buffer; clock entries hold trace
-     positions, so "event at position i by proc q happens-before proc
-     p's current point" is just i <= clock_p.(q). *)
+     thread and 2*tid+1 for its store buffer (TSO: the buffer is one
+     FIFO, so one sequential proc is exact). Under Relaxed the buffer
+     is FIFO only per location, so every (thread, object) flush lane is
+     its own proc — sharing one proc index would thread a false
+     happens-before from a flush into the next flush of an unrelated
+     location, hiding the store-store reordering from race detection
+     (a waiter woken by the second flush would look ordered after the
+     first, and the stale-read reversal would never be scheduled).
+     Clock entries hold trace positions, so "event at position i by
+     proc q happens-before proc p's current point" is just
+     i <= clock_p.(q). *)
   let analyze (r : exec_result) =
     let n = Array.length r.infos in
     if n > 0 then begin
-      let nprocs = 2 * r.nthreads in
-      let proc = function Step i -> 2 * i | Flush i -> (2 * i) + 1 in
+      let flush_lane : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+      let next_proc = ref (2 * r.nthreads) in
+      let lane i obj =
+        match Hashtbl.find_opt flush_lane (i, obj) with
+        | Some p -> p
+        | None ->
+            let p = !next_proc in
+            incr next_proc;
+            Hashtbl.add flush_lane (i, obj) p;
+            p
+      in
+      (* pre-scan so the clock arrays can be sized before the pass *)
+      Array.iter
+        (fun info ->
+          match info.pi_choice with
+          | Flush_obj (i, obj) -> ignore (lane i obj)
+          | Step _ | Flush _ -> ())
+        r.infos;
+      List.iter
+        (fun (c, _) ->
+          match c with
+          | Flush_obj (i, obj) -> ignore (lane i obj)
+          | Step _ | Flush _ -> ())
+        r.end_pending;
+      let nprocs = !next_proc in
+      let proc = function
+        | Step i -> 2 * i
+        | Flush i -> (2 * i) + 1
+        | Flush_obj (i, obj) -> lane i obj
+      in
       let clocks = Array.init nprocs (fun _ -> Array.make nprocs (-1)) in
+      (* post-join clock of every trace event, for the initials scan *)
+      let evc = Array.make n [||] in
+      (* executed (reads-from-refined) access: a step that committed
+         nothing acted as a pure read whatever it declared *)
+      let eff (info : pos_info) =
+        if info.pi_wrote then info.pi_access
+        else { info.pi_access with Vstate.writes = [] }
+      in
       let join dst (src : int array) =
         for k = 0 to nprocs - 1 do
           if src.(k) > dst.(k) then dst.(k) <- src.(k)
@@ -709,8 +826,23 @@ let dpor_check cfg name scenario =
       (* the wakes pseudo-object: pauses depend on every write *)
       let last_any_write = ref None in
       let pauses_since = ref [] in
-      (* clock snapshots of buffered stores awaiting their flush *)
-      let insert_q = Array.init r.nthreads (fun _ -> Queue.create ()) in
+      (* clock snapshots of buffered stores awaiting their flush, FIFO
+         per (thread, location) — under TSO the whole-buffer FIFO
+         refines to this, under Relaxed it is the flush granularity *)
+      let insert_q : (int * int, int array Queue.t) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let insert_queue tid obj =
+        match Hashtbl.find_opt insert_q (tid, obj) with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add insert_q (tid, obj) q;
+            q
+      in
+      let flushed_obj (a : Vstate.access) =
+        match a.Vstate.writes with [ obj ] -> Some obj | _ -> None
+      in
       let candidates (a : Vstate.access) =
         let cs = ref [] in
         List.iter
@@ -739,57 +871,112 @@ let dpor_check cfg name scenario =
           List.iter (fun (i, _) -> cs := i :: !cs) !pauses_since;
         List.sort_uniq compare !cs
       in
-      (* schedule proc-of-[later] at node [at]; if it has no affordable
-         choice there, fall back to all untried alternatives (the
-         Flanagan-Godefroid else-branch) *)
-      let fresh at c =
-        let nd = node at in
-        (not (List.mem c nd.nd_done))
-        && (not (List.mem c nd.nd_backtrack))
-        && not (List.exists (fun (s, _) -> s = c) nd.nd_sleep)
-      in
-      let flag at later =
+      (* To reverse the race between the event at position [at] and the
+         later conflicting transition [later], it is not enough to
+         schedule proc-of-[later] at node [at]: if that choice is
+         sleeping there, [later] can still depend on intermediate
+         independent events that must come first (and that the sleeping
+         subtree, rooted at an ancestor, schedules differently).  This
+         is the source-set condition of Abdulla et al. (POPL'14): let
+         v = notdep(e_at)·later — the events after [at] that do not
+         happen-after it, then the later transition itself — and add an
+         initial of v (an event no other v-event happens-before) to the
+         backtrack set.  Proc-of-[later] alone is only correct when it
+         is such an initial. *)
+      let flag at ~upto later_choice later_access =
         if at < !plen then begin
           let nd = node at in
-          let p = proc later in
-          match List.find_opt (fun (c, _) -> proc c = p) nd.nd_enabled with
-          | Some (c, _) ->
-              if fresh at c then begin
-                nd.nd_backtrack <- c :: nd.nd_backtrack;
-                incr races
+          let qi = proc r.infos.(at).pi_choice in
+          (* first v-event per proc; each is that proc's first
+             transition after [at], so its choice is affordable-at-[at]
+             shaped *)
+          let first_v = Array.make nprocs (-1) in
+          let inits = ref [] in
+          let later_dep = ref false in
+          for k = at + 1 to upto - 1 do
+            let kc = evc.(k) in
+            if kc.(qi) < at then begin
+              (* e_k ∈ v *)
+              if conflicts (eff r.infos.(k)) later_access then
+                later_dep := true;
+              let pk = proc r.infos.(k).pi_choice in
+              if first_v.(pk) < 0 then begin
+                first_v.(pk) <- k;
+                let pred = ref false in
+                for q = 0 to nprocs - 1 do
+                  if q <> pk && first_v.(q) >= 0 && first_v.(q) <= kc.(q)
+                  then pred := true
+                done;
+                if not !pred then
+                  inits := r.infos.(k).pi_choice :: !inits
               end
-          | None ->
+            end
+          done;
+          let inits = List.rev !inits in
+          (* prefer proc-of-[later] itself when it qualifies: reversing
+             the race directly keeps the search order close to plain
+             Flanagan-Godefroid *)
+          let inits =
+            if first_v.(proc later_choice) < 0 && not !later_dep then
+              later_choice :: inits
+            else inits
+          in
+          let covered c =
+            List.mem c nd.nd_done || List.mem c nd.nd_backtrack
+          in
+          let sleeping c =
+            List.exists (fun (s, _) -> s = c) nd.nd_sleep
+          in
+          let add c =
+            nd.nd_backtrack <- c :: nd.nd_backtrack;
+            incr races
+          in
+          match
+            List.filter (fun c -> List.mem_assoc c nd.nd_enabled) inits
+          with
+          | [] ->
+              (* no initial is schedulable at [at]: conservatively try
+                 every untried alternative (the Flanagan-Godefroid
+                 else-branch) *)
               List.iter
                 (fun (c, _) ->
-                  if fresh at c then begin
-                    nd.nd_backtrack <- c :: nd.nd_backtrack;
-                    incr races
-                  end)
+                  if not (covered c) && not (sleeping c) then add c)
                 nd.nd_enabled
+          | cands ->
+              if not (List.exists covered cands) then (
+                match List.find_opt (fun c -> not (sleeping c)) cands with
+                | Some c -> add c
+                | None ->
+                    (* every initial sleeps: the reversal is reachable
+                       from the ancestor that put them to sleep *)
+                    ())
         end
       in
-      let race_check (cp : int array) c a =
+      let race_check (cp : int array) ~upto c a =
         let p = proc c in
         List.iter
           (fun i ->
             let qi = proc r.infos.(i).pi_choice in
-            if qi <> p && i > cp.(qi) then flag i c)
+            if qi <> p && i > cp.(qi) then flag i ~upto c a)
           (candidates a)
       in
       for j = 0 to n - 1 do
         let info = r.infos.(j) in
         let c = info.pi_choice in
         let p = proc c in
-        let a = info.pi_access in
+        let a = eff info in
         let cp = clocks.(p) in
         (* a flush happens after its insert: inherit that clock first *)
         (match c with
-        | Flush i -> (
-            match Queue.take_opt insert_q.(i) with
-            | Some vc -> join cp vc
+        | Flush i | Flush_obj (i, _) -> (
+            match flushed_obj info.pi_access with
+            | Some obj -> (
+                match Queue.take_opt (insert_queue i obj) with
+                | Some vc -> join cp vc
+                | None -> ())
             | None -> ())
         | Step _ -> ());
-        race_check cp c a;
+        race_check cp ~upto:j c a;
         (* dependence edges into this event *)
         List.iter
           (fun x ->
@@ -814,6 +1001,7 @@ let dpor_check cfg name scenario =
           List.iter (fun (_, vc) -> join cp vc) !pauses_since;
         cp.(p) <- j;
         let vc = Array.copy cp in
+        evc.(j) <- vc;
         List.iter
           (fun x ->
             Hashtbl.replace last_write x (j, vc);
@@ -831,9 +1019,14 @@ let dpor_check cfg name scenario =
         | Step i ->
             (* a committing step drains the buffer, retiring any inserts
                a flush will now never pop *)
-            if a.Vstate.writes <> [] then Queue.clear insert_q.(i);
-            if a.Vstate.inserts <> [] then Queue.add vc insert_q.(i)
-        | Flush _ -> ())
+            if a.Vstate.writes <> [] then
+              Hashtbl.iter
+                (fun (t, _) q -> if t = i then Queue.clear q)
+                insert_q;
+            List.iter
+              (fun obj -> Queue.add vc (insert_queue i obj))
+              a.Vstate.inserts
+        | Flush _ | Flush_obj _ -> ())
       done;
       (* transitions left pending when the bounds cut the run never get
          a "next execution of their proc" to race-check from — do it
@@ -843,8 +1036,11 @@ let dpor_check cfg name scenario =
           let cp = clocks.(proc c) in
           let cp =
             match c with
-            | Flush i -> (
-                match Queue.peek_opt insert_q.(i) with
+            | Flush i | Flush_obj (i, _) -> (
+                match
+                  Option.bind (flushed_obj a) (fun obj ->
+                      Queue.peek_opt (insert_queue i obj))
+                with
                 | Some vc ->
                     let cp' = Array.copy cp in
                     join cp' vc;
@@ -852,7 +1048,7 @@ let dpor_check cfg name scenario =
                 | None -> cp)
             | Step _ -> cp
           in
-          race_check cp c a)
+          race_check cp ~upto:n c a)
         r.end_pending
     end
   in
@@ -919,6 +1115,9 @@ let dpor_check cfg name scenario =
     races = !races;
     violation = !violation;
     truncated = !truncated;
+    (* the while loop ends by truncation, by violation, or by draining
+       the backtrack frontier — only the last is completeness *)
+    exhaustive = (not !truncated) && !violation = None;
     seconds = Sys.time () -. t0;
   }
 
@@ -939,7 +1138,9 @@ let pp_report ppf r =
     (match r.violation with
     | None -> "ok"
     | Some (v, _) -> "VIOLATION " ^ violation_to_string v)
-    (if r.truncated then " (truncated)" else "")
+    (if r.truncated then " (truncated)"
+     else if r.exhaustive then " (exhaustive)"
+     else "")
     (match r.strategy with
     | Naive -> ""
     | Dpor ->

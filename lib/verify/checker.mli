@@ -76,6 +76,15 @@ val sc : ?preemptions:int -> unit -> config
 val tso : ?preemptions:int -> ?delays:int -> unit -> config
 (** TSO-mode shorthand with preemption and delay budgets. *)
 
+val relaxed : ?preemptions:int -> ?delays:int -> unit -> config
+(** Relaxed-mode (Armv8/PSO-style) shorthand: store buffers are FIFO
+    per location only, so a thread's stores to different locations
+    commit in either order; release stores commit in program order; CAS
+    is an LL/SC pair that fails when any intervening commit to the
+    location breaks its reservation. Loads still take effect at their
+    program point, so load-load reordering (the LB litmus) is not
+    modeled — the model sits between x86-TSO and full Armv8. *)
+
 type violation =
   | Property of string  (** mutual exclusion / assertion / invariant *)
   | Deadlock of string  (** blocked threads and what they wait on *)
@@ -105,6 +114,13 @@ type report = {
       (** first violation found, with the schedule trace that exhibits
           it (["tid: op"] lines) *)
   truncated : bool;  (** hit [max_executions] before exhausting *)
+  exhaustive : bool;
+      (** the exploration frontier drained: every schedule within the
+          preemption/delay bounds was covered (a proof, relative to the
+          bounds and the model). Structurally incompatible with
+          [truncated] — a budget-cut exploration can never claim
+          completeness — and false when a violation stopped the search
+          early. *)
   seconds : float;  (** processor time spent *)
 }
 

@@ -80,25 +80,41 @@ let mini_hierarchy = function
   | 3 -> [ Level.Cache_group; Level.Numa_node; Level.System ]
   | d -> invalid_arg (Printf.sprintf "mini_hierarchy: depth %d" d)
 
-(* Shared payload: an unprotected counter, so a mutual-exclusion breach
-   is observable both by the cs monitor and as a lost update. *)
-let payload data () =
-  Checker.cs_enter ();
-  let v = Vmem.load data in
-  Vmem.store ~o:Clof_atomics.Memory_order.Relaxed data (v + 1);
-  Checker.cs_exit ()
+(* Shared payload: an unprotected counter incremented with a plain
+   relaxed (bufferable) store. The cs monitor catches a program-order
+   overlap of two critical sections; the stale-read check catches the
+   weak-memory breach the monitor cannot see — an unlock whose commit
+   overtakes the still-buffered data store, so the next holder reads a
+   stale value (a lost update with no overlap). [turns] is a plain
+   meta-level counter of completed sections; under mutual exclusion the
+   n-th section must read exactly n. This is the release obligation of
+   every unlock path, and what the fence audit (EXPERIMENTS.md) flips. *)
+let mk_payload () =
+  let data = Vmem.make ~name:"data" 0 in
+  let turns = ref 0 in
+  fun () ->
+    Checker.cs_enter ();
+    let v = Vmem.load data in
+    if v <> !turns then
+      raise
+        (Vstate.Prop_violation
+           (Printf.sprintf "stale read in cs: data=%d after %d sections" v
+              !turns));
+    incr turns;
+    Vmem.store ~o:Clof_atomics.Memory_order.Relaxed data (v + 1);
+    Checker.cs_exit ()
 
 let basic_scenario (type a) (packed : a Clof_locks.Lock_intf.packed)
     ~threads ~iters () =
   let (module B) = packed in
   let lock = B.create () in
-  let data = Vmem.make ~name:"data" 0 in
+  let payload = mk_payload () in
   List.init threads (fun _ ->
       let ctx = B.ctx_create lock in
       fun () ->
         for _ = 1 to iters do
           B.acquire lock ctx;
-          payload data ();
+          payload ();
           B.release lock ctx
         done)
 
@@ -107,23 +123,27 @@ let clof_scenario (packed : Clof_core.Clof_intf.packed) ~depth ~threads
   let (module L) = packed in
   let topo = mini_topo depth in
   let lock = L.create ~h:2 ~topo ~hierarchy:(mini_hierarchy depth) () in
-  let data = Vmem.make ~name:"data" 0 in
+  let payload = mk_payload () in
   List.init threads (fun cpu ->
       let ctx = L.ctx_create lock ~cpu in
       fun () ->
         for _ = 1 to iters do
           L.acquire lock ctx;
-          payload data ();
+          payload ();
           L.release lock ctx
         done)
 
-let mode_tag = function Vstate.Sc -> "sc" | Vstate.Tso -> "tso"
+let mode_tag = function
+  | Vstate.Sc -> "sc"
+  | Vstate.Tso -> "tso"
+  | Vstate.Relaxed -> "rlx"
 
 let config_of ?(strategy = Checker.Dpor) ?(executions = 20_000) ?steps mode
     =
   (match mode with
   | Vstate.Sc -> Checker.sc ~preemptions:2 ()
-  | Vstate.Tso -> Checker.tso ~preemptions:2 ~delays:2 ())
+  | Vstate.Tso -> Checker.tso ~preemptions:2 ~delays:2 ()
+  | Vstate.Relaxed -> Checker.relaxed ~preemptions:2 ~delays:2 ())
   |> Checker.Config.with_strategy strategy
   |> Checker.Config.with_budget ~executions ?steps
 
@@ -137,6 +157,17 @@ let spin_heavy = [ "tas"; "ttas"; "bo"; "hem"; "hem-ctr" ]
 let base_budget lock_name =
   if List.mem lock_name spin_heavy then Some 1_500 else None
 
+(* The MCS queue link is a relaxed store (checker-proved removable
+   release; see the fence audit in EXPERIMENTS.md), which buffers the
+   link under the weak modes and roughly doubles the schedule tree.
+   The downgrade proof needs those explorations to stay exhaustive, so
+   the mcs steps get a larger execution budget (measured: base 39k,
+   abort 25k under Relaxed). *)
+let exec_budget lock_name mode =
+  match (lock_name, mode) with
+  | "mcs", (Vstate.Tso | Vstate.Relaxed) -> Some 50_000
+  | _ -> None
+
 let base_step ?(threads = 3) ?(iters = 2) ?strategy ~mode lock_name =
   match R.find ~ctr:false lock_name with
   | None -> None
@@ -146,7 +177,10 @@ let base_step ?(threads = 3) ?(iters = 2) ?strategy ~mode lock_name =
           sname =
             Printf.sprintf "base/%s %dT x%d [%s]" lock_name threads iters
               (mode_tag mode);
-          config = config_of ?strategy ?steps:(base_budget lock_name) mode;
+          config =
+            config_of ?strategy
+              ?executions:(exec_budget lock_name mode)
+              ?steps:(base_budget lock_name) mode;
           expect_violation = false;
           scenario = basic_scenario packed ~threads ~iters;
         }
@@ -187,20 +221,20 @@ let abort_scenario (type a) (packed : a Clof_locks.Lock_intf.packed)
     ~threads ~iters () =
   let (module B) = packed in
   let lock = B.create () in
-  let data = Vmem.make ~name:"data" 0 in
+  let payload = mk_payload () in
   List.init threads (fun i ->
       let ctx = B.ctx_create lock in
       fun () ->
         for _ = 1 to iters do
           if i = 0 then begin
             if B.try_acquire lock ctx ~deadline:0 then begin
-              payload data ();
+              payload ();
               B.release lock ctx
             end
           end
           else begin
             B.acquire lock ctx;
-            payload data ();
+            payload ();
             B.release lock ctx
           end
         done)
@@ -214,7 +248,10 @@ let abort_step ?(threads = 3) ?(iters = 2) ?strategy ~mode lock_name =
           sname =
             Printf.sprintf "abort/%s %dT x%d [%s]" lock_name threads iters
               (mode_tag mode);
-          config = config_of ?strategy ?steps:(base_budget lock_name) mode;
+          config =
+            config_of ?strategy
+              ?executions:(exec_budget lock_name mode)
+              ?steps:(base_budget lock_name) mode;
           expect_violation = false;
           scenario = abort_scenario packed ~threads ~iters;
         }
@@ -235,20 +272,20 @@ let abort_induction ?(threads = 3) ?strategy ~mode () =
     let lock =
       Abort_clof2.create ~h:2 ~topo ~hierarchy:(mini_hierarchy 2) ()
     in
-    let data = Vmem.make ~name:"data" 0 in
+    let payload = mk_payload () in
     List.init threads (fun cpu ->
         let ctx = Abort_clof2.ctx_create lock ~cpu in
         fun () ->
           for _ = 1 to 2 do
             if cpu = 0 then begin
               if Abort_clof2.try_acquire lock ctx ~deadline:0 then begin
-                payload data ();
+                payload ();
                 Abort_clof2.release lock ctx
               end
             end
             else begin
               Abort_clof2.acquire lock ctx;
-              payload data ();
+              payload ();
               Abort_clof2.release lock ctx
             end
           done)
@@ -285,20 +322,20 @@ let hmcst_abort ?(threads = 3) ?strategy ~deadline ~mode () =
     let lock =
       Hmcs_t_v.create ~h:2 ~topo ~hierarchy:(mini_hierarchy 2) ()
     in
-    let data = Vmem.make ~name:"data" 0 in
+    let payload = mk_payload () in
     List.init threads (fun cpu ->
         let ctx = Hmcs_t_v.ctx_create lock ~cpu in
         fun () ->
           for _ = 1 to 2 do
             if cpu = 0 then begin
               if Hmcs_t_v.try_acquire lock ctx ~deadline then begin
-                payload data ();
+                payload ();
                 Hmcs_t_v.release lock ctx
               end
             end
             else begin
               Hmcs_t_v.acquire lock ctx;
-              payload data ();
+              payload ();
               Hmcs_t_v.release lock ctx
             end
           done)
@@ -323,13 +360,13 @@ let peterson ?strategy ~fenced ~mode () =
         end)
     in
     let lock = P.create () in
-    let data = Vmem.make ~name:"data" 0 in
+    let payload = mk_payload () in
     List.init 2 (fun _ ->
         let ctx = P.ctx_create lock in
         fun () ->
           for _ = 1 to 2 do
             P.acquire lock ctx;
-            payload data ();
+            payload ();
             P.release lock ctx
           done)
   in
@@ -341,17 +378,233 @@ let peterson ?strategy ~fenced ~mode () =
     config =
       (match mode with
       | Vstate.Sc -> config_of ?strategy ~executions:100_000 mode
-      | Vstate.Tso ->
-          (* store-buffering needs each thread to run several ops past
-             its own unflushed stores, so the delay budget must cover
-             both threads' windows *)
-          Checker.tso ~preemptions:3 ~delays:8 ()
+      | Vstate.Tso | Vstate.Relaxed ->
+          (* store-buffering needs each thread to run a few ops past
+             its own unflushed stores. Tight bounds (2 preemptions, 4
+             delays) are enough for the flag stores of both threads to
+             stay buffered across the other's read, and keep the tree
+             small enough that the fenced variant exhausts and the
+             unfenced violation surfaces within a few thousand
+             schedules in both weak modes *)
+          (match mode with
+          | Vstate.Tso -> Checker.tso ~preemptions:2 ~delays:4 ()
+          | _ -> Checker.relaxed ~preemptions:2 ~delays:4 ())
           |> Checker.Config.with_budget ~executions:200_000
           |> fun c ->
           (match strategy with
           | None -> c
           | Some s -> Checker.Config.with_strategy s c));
-    expect_violation = (not fenced) && mode = Vstate.Tso;
+    expect_violation = (not fenced) && mode <> Vstate.Sc;
+    scenario;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Litmus tests                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The classic weak-memory litmus shapes, with the architectural
+   verdict per mode encoded as [expect_violation]: the scenario raises
+   a property violation exactly when the weak outcome is observed, so
+   "violation found" means "outcome reachable". SB distinguishes SC
+   from any buffered model; MP with a relaxed flag distinguishes TSO
+   (store-store order kept) from Relaxed (reordered); MP with a release
+   flag or a fence must be safe everywhere; CoRR (read coherence) must
+   hold everywhere; LB is forbidden in all three modes because the
+   model executes loads at their program point — it is stronger than
+   real Armv8 there (see DESIGN.md). *)
+let rlx_o = Clof_atomics.Memory_order.Relaxed
+let rel_o = Clof_atomics.Memory_order.Release
+
+type litmus_protect = L_none | L_release | L_fence
+
+let litmus_config ?strategy mode =
+  (* tiny programs: unbounded exploration is cheap and makes the
+     reachability verdict exact *)
+  (match mode with
+  | Vstate.Sc -> Checker.sc ~preemptions:(-1) ()
+  | Vstate.Tso -> Checker.tso ~preemptions:(-1) ~delays:(-1) ()
+  | Vstate.Relaxed -> Checker.relaxed ~preemptions:(-1) ~delays:(-1) ())
+  |> Checker.Config.with_budget ~executions:200_000
+  |> fun c ->
+  match strategy with
+  | None -> c
+  | Some s -> Checker.Config.with_strategy s c
+
+let weak_outcome name = raise (Vstate.Prop_violation ("litmus: " ^ name))
+
+let litmus_sb ?strategy ~mode () =
+  let scenario () =
+    let x = Vmem.make ~name:"x" 0 and y = Vmem.make ~name:"y" 0 in
+    let r0 = ref (-1) and r1 = ref (-1) in
+    let ndone = ref 0 in
+    let fin () =
+      incr ndone;
+      if !ndone = 2 && !r0 = 0 && !r1 = 0 then weak_outcome "SB r0=0 r1=0"
+    in
+    [
+      (fun () ->
+        Vmem.store ~o:rlx_o x 1;
+        r0 := Vmem.load y;
+        fin ());
+      (fun () ->
+        Vmem.store ~o:rlx_o y 1;
+        r1 := Vmem.load x;
+        fin ());
+    ]
+  in
+  {
+    sname = Printf.sprintf "litmus/SB [%s]" (mode_tag mode);
+    config = litmus_config ?strategy mode;
+    expect_violation = mode <> Vstate.Sc;
+    scenario;
+  }
+
+let litmus_mp ?strategy ~protect ~mode () =
+  let scenario () =
+    let data = Vmem.make ~name:"data" 0
+    and flag = Vmem.make ~name:"flag" 0 in
+    let seen = ref 0 and dval = ref (-1) in
+    let ndone = ref 0 in
+    let fin () =
+      incr ndone;
+      if !ndone = 2 && !seen = 1 && !dval = 0 then
+        weak_outcome "MP flag seen but data stale"
+    in
+    [
+      (fun () ->
+        Vmem.store ~o:rlx_o data 1;
+        (match protect with
+        | L_none -> Vmem.store ~o:rlx_o flag 1
+        | L_release -> Vmem.store ~o:rel_o flag 1
+        | L_fence ->
+            Vmem.fence ();
+            Vmem.store ~o:rlx_o flag 1);
+        fin ());
+      (fun () ->
+        seen := Vmem.load flag;
+        dval := Vmem.load data;
+        fin ());
+    ]
+  in
+  let pname =
+    match protect with
+    | L_none -> "rlx"
+    | L_release -> "rel"
+    | L_fence -> "fence"
+  in
+  {
+    sname = Printf.sprintf "litmus/MP(%s) [%s]" pname (mode_tag mode);
+    config = litmus_config ?strategy mode;
+    (* only the unprotected flag leaks, and only once store-store
+       reordering exists (Relaxed) *)
+    expect_violation = (protect = L_none && mode = Vstate.Relaxed);
+    scenario;
+  }
+
+(* MP with a spinning reader — the shape every queue-lock handover
+   takes (the waiter [await]s a flag). Same architectural verdict as
+   [litmus_mp], but the blocked reader means the weak outcome is only
+   reachable through a flush-wakes-the-waiter schedule: exactly the
+   shape that exposed the per-location flush-lane DPOR bug (a shared
+   buffer-proc clock threaded a false happens-before from the data
+   flush through the flag flush into the woken reader, so the
+   stale-read reversal was never scheduled and DPOR missed a violation
+   the naive oracle found). Gated per mode so that regression stays
+   caught. *)
+let litmus_mp_await ?strategy ~protect ~mode () =
+  let scenario () =
+    let data = Vmem.make ~name:"data" 0
+    and flag = Vmem.make ~name:"flag" 0 in
+    let dval = ref (-1) in
+    let ndone = ref 0 in
+    let fin () =
+      incr ndone;
+      if !ndone = 2 && !dval = 0 then
+        weak_outcome "MP+await flag seen but data stale"
+    in
+    [
+      (fun () ->
+        Vmem.store ~o:rlx_o data 1;
+        (match protect with
+        | L_none -> Vmem.store ~o:rlx_o flag 1
+        | L_release -> Vmem.store ~o:rel_o flag 1
+        | L_fence ->
+            Vmem.fence ();
+            Vmem.store ~o:rlx_o flag 1);
+        fin ());
+      (fun () ->
+        ignore (Vmem.await flag (fun f -> f = 1));
+        dval := Vmem.load data;
+        fin ());
+    ]
+  in
+  let pname =
+    match protect with
+    | L_none -> "rlx"
+    | L_release -> "rel"
+    | L_fence -> "fence"
+  in
+  {
+    sname = Printf.sprintf "litmus/MP+await(%s) [%s]" pname (mode_tag mode);
+    config = litmus_config ?strategy mode;
+    expect_violation = (protect = L_none && mode = Vstate.Relaxed);
+    scenario;
+  }
+
+let litmus_lb ?strategy ~mode () =
+  let scenario () =
+    let x = Vmem.make ~name:"x" 0 and y = Vmem.make ~name:"y" 0 in
+    let a = ref (-1) and b = ref (-1) in
+    let ndone = ref 0 in
+    let fin () =
+      incr ndone;
+      if !ndone = 2 && !a = 1 && !b = 1 then weak_outcome "LB a=1 b=1"
+    in
+    [
+      (fun () ->
+        a := Vmem.load x;
+        Vmem.store ~o:rlx_o y 1;
+        fin ());
+      (fun () ->
+        b := Vmem.load y;
+        Vmem.store ~o:rlx_o x 1;
+        fin ());
+    ]
+  in
+  {
+    sname = Printf.sprintf "litmus/LB [%s]" (mode_tag mode);
+    config = litmus_config ?strategy mode;
+    (* loads take effect at their program point in every mode: the
+       model never exhibits LB (stronger than real Armv8) *)
+    expect_violation = false;
+    scenario;
+  }
+
+let litmus_corr ?strategy ~mode () =
+  let scenario () =
+    let x = Vmem.make ~name:"x" 0 in
+    let a = ref (-1) and b = ref (-1) in
+    let ndone = ref 0 in
+    let fin () =
+      incr ndone;
+      if !ndone = 2 && !a = 1 && !b = 0 then
+        weak_outcome "CoRR new-then-old"
+    in
+    [
+      (fun () ->
+        Vmem.store ~o:rlx_o x 1;
+        fin ());
+      (fun () ->
+        a := Vmem.load x;
+        b := Vmem.load x;
+        fin ());
+    ]
+  in
+  {
+    sname = Printf.sprintf "litmus/CoRR [%s]" (mode_tag mode);
+    config = litmus_config ?strategy mode;
+    (* per-location FIFO buffers preserve coherence in every mode *)
+    expect_violation = false;
     scenario;
   }
 
@@ -359,13 +612,14 @@ let peterson ?strategy ~fenced ~mode () =
 (* The suite                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type group = Base | Abort | Induction | Exhibit
+type group = Base | Abort | Induction | Exhibit | Litmus
 
 let group_tag = function
   | Base -> "base"
   | Abort -> "abort"
   | Induction -> "induction"
   | Exhibit -> "exhibit"
+  | Litmus -> "litmus"
 
 type entry = { e_named : named; e_group : group }
 
@@ -381,7 +635,7 @@ let lock_names () =
   List.map Clof_locks.Lock_intf.name (R.all ~ctr:false)
 
 let suite ?(quick = false) ?strategy () =
-  let modes = [ Vstate.Sc; Vstate.Tso ] in
+  let modes = [ Vstate.Sc; Vstate.Tso; Vstate.Relaxed ] in
   let entry g n = { e_named = n; e_group = g } in
   let base =
     List.concat_map
@@ -415,15 +669,23 @@ let suite ?(quick = false) ?strategy () =
       ([
          induction_step ~depth:2 ?strategy ~mode:Vstate.Sc ();
          induction_step ~depth:2 ?strategy ~mode:Vstate.Tso ();
+         induction_step ~depth:2 ?strategy ~mode:Vstate.Relaxed ();
        ]
       @ (if quick then []
          else
-           (* depth 3 completes exhaustively only under DPOR; it is the
-              tentpole acceptance scenario, so the full suite keeps it *)
-           [ induction_step ~depth:3 ?strategy ~mode:Vstate.Sc () ])
+           (* depth 3 completes exhaustively only under DPOR (SC 117,
+              TSO 1284, Relaxed 433 executions); it is the tentpole
+              acceptance scenario, so the full suite keeps it in every
+              mode *)
+           [
+             induction_step ~depth:3 ?strategy ~mode:Vstate.Sc ();
+             induction_step ~depth:3 ?strategy ~mode:Vstate.Tso ();
+             induction_step ~depth:3 ?strategy ~mode:Vstate.Relaxed ();
+           ])
       @ [
           abort_induction ?strategy ~mode:Vstate.Sc ();
           abort_induction ?strategy ~mode:Vstate.Tso ();
+          abort_induction ?strategy ~mode:Vstate.Relaxed ();
         ])
   in
   let exhibits =
@@ -434,9 +696,29 @@ let suite ?(quick = false) ?strategy () =
         peterson ?strategy ~fenced:true ~mode:Vstate.Tso ();
         peterson ?strategy ~fenced:false ~mode:Vstate.Sc ();
         peterson ?strategy ~fenced:false ~mode:Vstate.Tso ();
+        (* fenced relaxed Peterson needs the full fence-drain subtree
+           and blows the time budget; the nofence violation is the
+           interesting relaxed verdict *)
+        peterson ?strategy ~fenced:false ~mode:Vstate.Relaxed ();
       ]
   in
-  base @ aborts @ induction @ exhibits
+  let litmus =
+    List.concat_map
+      (fun mode ->
+        List.map (entry Litmus)
+          [
+            litmus_sb ~mode ();
+            litmus_mp ~protect:L_none ~mode ();
+            litmus_mp ~protect:L_release ~mode ();
+            litmus_mp ~protect:L_fence ~mode ();
+            litmus_mp_await ~protect:L_none ~mode ();
+            litmus_mp_await ~protect:L_release ~mode ();
+            litmus_lb ~mode ();
+            litmus_corr ~mode ();
+          ])
+      modes
+  in
+  base @ aborts @ induction @ exhibits @ litmus
 
 let run_entry e =
   let r = run e.e_named in

@@ -27,6 +27,9 @@ type named = {
 
 val run : named -> Checker.report
 
+val mode_tag : Vstate.mode -> string
+(** "sc" / "tso" / "rlx" — the bracket tag in scenario names. *)
+
 val base_step :
   ?threads:int ->
   ?iters:int ->
@@ -91,9 +94,56 @@ val hmcst_abort :
 val peterson :
   ?strategy:Checker.strategy -> fenced:bool -> mode:Vstate.mode -> unit -> named
 
+(** {1 Litmus tests}
+
+    The classic weak-memory litmus shapes, exhaustively explored per
+    mode. Each scenario raises a property violation exactly when the
+    weak outcome is observed, so [expect_violation] encodes the
+    architectural verdict: reachable or not under that memory mode. *)
+
+type litmus_protect =
+  | L_none  (** plain relaxed flag store *)
+  | L_release  (** release-ordered flag store *)
+  | L_fence  (** full fence before the flag store *)
+
+val litmus_sb : ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
+(** Store buffering: both threads store then read the other location;
+    the weak outcome (both reads 0) is reachable under TSO and
+    Relaxed, never under SC. *)
+
+val litmus_mp :
+  ?strategy:Checker.strategy ->
+  protect:litmus_protect ->
+  mode:Vstate.mode ->
+  unit ->
+  named
+(** Message passing: writer publishes data then a flag; reader sees
+    the flag but stale data only with an unprotected flag under
+    Relaxed (per-location buffers reorder the two stores). *)
+
+val litmus_mp_await :
+  ?strategy:Checker.strategy ->
+  protect:litmus_protect ->
+  mode:Vstate.mode ->
+  unit ->
+  named
+(** Message passing with a spinning reader (the queue-lock handover
+    shape): the reader [await]s the flag, then reads data. Same
+    verdicts as {!litmus_mp}; the blocked reader makes the weak
+    outcome reachable only through a flush-wakes-the-waiter schedule —
+    the regression guard for the per-location flush-lane DPOR bug. *)
+
+val litmus_lb : ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
+(** Load buffering: never reachable — the model executes loads at
+    their program point in every mode (stronger than real Armv8). *)
+
+val litmus_corr : ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
+(** Read coherence: two reads of one location never observe
+    new-then-old in any mode (buffers are per-location FIFO). *)
+
 (** {1 The suite} *)
 
-type group = Base | Abort | Induction | Exhibit
+type group = Base | Abort | Induction | Exhibit | Litmus
 
 val group_tag : group -> string
 
@@ -109,10 +159,12 @@ type outcome = {
 
 val suite : ?quick:bool -> ?strategy:Checker.strategy -> unit -> entry list
 (** Every verification scenario: base steps for all registered locks
-    (SC + TSO), abort steps (basic locks and HMCS-T, both deadline
-    variants), induction steps (depth 2 SC + TSO, depth 3 SC unless
-    [quick]), abort induction, Peterson exhibits. [strategy] overrides
-    the checker strategy on every entry (default DPOR). *)
+    (SC, TSO, Relaxed), abort steps (basic locks and HMCS-T, both
+    deadline variants, all modes), induction steps (depth 2 in all
+    modes, plus depth 3 in all modes unless [quick]), abort induction
+    (all modes),
+    Peterson exhibits, and the litmus battery per mode. [strategy]
+    overrides the checker strategy on every entry (default DPOR). *)
 
 val run_suite :
   ?map:((entry -> outcome) -> entry list -> outcome list) ->

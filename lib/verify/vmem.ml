@@ -2,11 +2,12 @@ type 'a aref = {
   name : string;
   id : int; (* dependence-tracking label, unique per location *)
   mutable v : 'a; (* committed, globally visible value *)
+  mutable ver : int; (* bumped at every commit: the LL/SC reservation *)
   mutable pend : (int * 'a) list; (* buffered stores: (tid, value), newest first *)
 }
 
 let make ?node:_ ?(name = "ref") v =
-  { name; id = Vstate.new_obj (); v; pend = [] }
+  { name; id = Vstate.new_obj (); v; ver = 0; pend = [] }
 
 let colocated _other ?(name = "ref") v = make ~name v
 
@@ -61,6 +62,7 @@ let drain_own_buffer () =
 let commit_direct r v =
   drain_own_buffer ();
   r.v <- v;
+  r.ver <- r.ver + 1;
   Vstate.bump_writes ()
 
 let buffered_store r v =
@@ -69,9 +71,11 @@ let buffered_store r v =
   r.pend <- (tid, v) :: r.pend;
   let commit () =
     r.v <- v;
+    r.ver <- r.ver + 1;
     Vstate.bump_writes ();
-    (* commits are FIFO per thread, so retire this thread's oldest
-       (deepest) entry — [pend] is newest-first *)
+    (* commits are FIFO per thread per location ([pend] is one
+       location), so retire this thread's oldest (deepest) entry —
+       [pend] is newest-first *)
     let rec drop_oldest = function
       | [] -> ([], false)
       | ((t, _) as e) :: rest ->
@@ -91,12 +95,20 @@ let load ?o:_ r =
 let store ?(o = Clof_atomics.Memory_order.Seq_cst) ?rmw:_ r v =
   let run = Vstate.the_run () in
   match (run.mode, o) with
-  | Vstate.Sc, _ | Vstate.Tso, Clof_atomics.Memory_order.Seq_cst ->
+  | Vstate.Sc, _
+  | (Vstate.Tso | Vstate.Relaxed), Clof_atomics.Memory_order.Seq_cst
+  (* a release store commits after every earlier store of its thread:
+     modeled as drain-and-commit at the program point. This is slightly
+     stronger than Armv8 stlr (which may still be delayed past *later*
+     relaxed stores); see DESIGN.md. Under TSO the buffer is FIFO so
+     plain buffering already preserves release ordering. *)
+  | Vstate.Relaxed, Release ->
       point
         ("store " ^ r.name)
         { Vstate.no_access with writes = r.id :: own_buffer_objs () };
       commit_direct r v
-  | Vstate.Tso, (Relaxed | Acquire | Release) ->
+  | Vstate.Tso, (Relaxed | Acquire | Release)
+  | Vstate.Relaxed, (Relaxed | Acquire) ->
       point ("store " ^ r.name) { Vstate.no_access with inserts = [ r.id ] };
       buffered_store r v
 
@@ -107,20 +119,46 @@ let rmw_access r =
   { Vstate.no_access with reads = [ r.id ]; writes = r.id :: own_buffer_objs () }
 
 let cas r ~expected ~desired =
-  point ("cas " ^ r.name) (rmw_access r);
-  drain_own_buffer ();
-  if r.v == expected then begin
-    r.v <- desired;
-    Vstate.bump_writes ();
-    true
-  end
-  else false
+  let run = Vstate.the_run () in
+  match run.Vstate.mode with
+  | Vstate.Sc | Vstate.Tso ->
+      point ("cas " ^ r.name) (rmw_access r);
+      drain_own_buffer ();
+      if r.v == expected then begin
+        r.v <- desired;
+        r.ver <- r.ver + 1;
+        Vstate.bump_writes ();
+        true
+      end
+      else false
+  | Vstate.Relaxed ->
+      (* LL/SC: the load-exclusive takes a reservation on the location;
+         the store-exclusive is a separate scheduling point and fails —
+         even on a matching value — if any commit to the location
+         happened in between (including this thread's own drained
+         stores). Exploration thus covers Armv8 spurious SC failures,
+         bounded by the schedule space. *)
+      point ("ll " ^ r.name) { Vstate.no_access with reads = [ r.id ] };
+      let reservation = r.ver in
+      point ("sc " ^ r.name) (rmw_access r);
+      drain_own_buffer ();
+      if r.ver = reservation && r.v == expected then begin
+        r.v <- desired;
+        r.ver <- r.ver + 1;
+        Vstate.bump_writes ();
+        true
+      end
+      else false
 
+(* Exchange and fetch-add stay single-point in every mode: they model
+   Armv8.1 AMO instructions (swp/ldadd), which are single-copy atomic
+   with no reservation to lose. *)
 let exchange r v =
   point ("xchg " ^ r.name) (rmw_access r);
   drain_own_buffer ();
   let old = r.v in
   r.v <- v;
+  r.ver <- r.ver + 1;
   Vstate.bump_writes ();
   old
 
@@ -129,6 +167,7 @@ let fetch_add r n =
   drain_own_buffer ();
   let old = r.v in
   r.v <- old + n;
+  r.ver <- r.ver + 1;
   Vstate.bump_writes ();
   old
 

@@ -40,7 +40,14 @@ exception Prop_violation of string
 (** Raised inside a scenario thread when a checked property (mutual
     exclusion, context invariant, user assertion) fails. *)
 
-type mode = Sc | Tso
+(* Sc: every store commits at its program point. Tso: relaxed-order
+   stores sit in a per-thread FIFO buffer and commit at a separate
+   flush transition (x86-style). Relaxed: the buffer keeps FIFO order
+   only per location (PSO-style, the store-store reordering of
+   Armv8-class machines), release stores commit in order, and CAS is
+   modeled as an LL/SC pair whose reservation any intervening commit to
+   the location breaks. *)
+type mode = Sc | Tso | Relaxed
 
 type status =
   | Not_started of (unit -> unit)
