@@ -228,11 +228,59 @@ let pp_faults label (r : Report.t) =
       end)
     r.experiments
 
+(* Per-phase matrix from an adapt report (clof_bench adapt), decoded
+   from the encoding documented in Adaptbench: one point per phase per
+   lock (phases in series order), plus a "controller" series whose
+   slots carry the adaptive lock's mode-switch count (total_ops) and
+   settled mode (sim_ns) per phase. Printed for trend-watching only:
+   the within-10%%-of-best gate already ran inside clof_bench adapt,
+   and the two low phases share a thread count, so these points cannot
+   join the deterministic (lock, threads) regression key. *)
+let has_adapt (r : Report.t) =
+  List.exists
+    (fun (e : Report.experiment) -> e.Report.exp_id = "adapt")
+    r.experiments
+
+let pp_adapt label (r : Report.t) =
+  List.iter
+    (fun (e : Report.experiment) ->
+      if e.Report.exp_id = "adapt" then begin
+        Printf.printf "bench_check: %s adaptive phases (%s, %s):\n" label
+          e.Report.platform e.Report.workload;
+        let mode_name = function
+          | 0 -> "fastpath"
+          | 1 -> "keep_local"
+          | 2 -> "fair"
+          | _ -> "?"
+        in
+        List.iter
+          (fun (s : Report.series) ->
+            if s.Report.lock = "controller" then
+              List.iter
+                (fun (p : Report.point) ->
+                  Printf.printf
+                    "  controller phase %d: %d switch(es), settled in %s\n"
+                    p.Report.threads p.Report.total_ops
+                    (mode_name p.Report.sim_ns))
+                s.Report.points
+            else
+              Printf.printf "  %-12s %s\n" s.Report.lock
+                (String.concat "  "
+                   (List.map
+                      (fun (p : Report.point) ->
+                        Printf.sprintf "%3dT %7.3f ops/us" p.Report.threads
+                          p.Report.throughput)
+                      s.Report.points)))
+          e.Report.series
+      end)
+    r.experiments
+
 (* verify series carry checker counters in the point slots, xval
    series carry native wall-clock numbers and packed coefficients,
-   and faults series carry recovery classes — none of it is a
-   benchmark result; comparing any across runs would gate on
-   wall-clock or on fault bookkeeping. Strip all three before the
+   faults series carry recovery classes, and adapt phases reuse thread
+   counts (two low phases) under a gate that already ran — none of it
+   is a joinable benchmark result; comparing any across runs would
+   gate on wall-clock or on bookkeeping. Strip all four before the
    join. *)
 let gateable (r : Report.t) =
   {
@@ -242,7 +290,8 @@ let gateable (r : Report.t) =
         (fun (e : Report.experiment) ->
           e.Report.exp_id <> "verify"
           && e.Report.exp_id <> "xval"
-          && e.Report.exp_id <> "faults")
+          && e.Report.exp_id <> "faults"
+          && e.Report.exp_id <> "adapt")
         r.experiments;
   }
 
@@ -260,6 +309,8 @@ let check baseline current max_drop max_jain_drop min_jain require_all =
       else if has_xval base then pp_xval "baseline" base;
       if has_faults cur then pp_faults "current" cur
       else if has_faults base then pp_faults "baseline" base;
+      if has_adapt cur then pp_adapt "current" cur
+      else if has_adapt base then pp_adapt "baseline" base;
       let base = gateable base and cur = gateable cur in
       let cur_points = flatten cur in
       let find key =

@@ -21,7 +21,12 @@ let set_jobs j =
   Clof_exec.Exec.set_jobs
     (if j <= 0 then max 1 (Domain.recommended_domain_count ()) else j)
 
-let run_ids quick jobs ids =
+let run_ids quick jobs list ids =
+  if list then begin
+    list_experiments ();
+    `Ok ()
+  end
+  else begin
   set_jobs jobs;
   Clof_harness.Experiments.set_quick quick;
   let ppf = Format.std_formatter in
@@ -47,6 +52,7 @@ let run_ids quick jobs ids =
             (fun id -> ignore (Clof_harness.Experiments.run ppf id))
             ids;
           `Ok ())
+  end
 
 let report quick jobs out ids =
   set_jobs jobs;
@@ -261,6 +267,31 @@ let faults_gate quick jobs out =
                           v.Clof_harness.Experiments.fv_what)
                       bad)) ))
 
+let adapt_gate quick jobs out =
+  set_jobs jobs;
+  let t = Clof_harness.Adaptbench.run ~quick () in
+  Clof_harness.Adaptbench.pp Format.std_formatter t;
+  Format.pp_print_flush Format.std_formatter ();
+  let doc =
+    Clof_harness.Report.to_string
+      (Clof_harness.Adaptbench.to_report ~quick t)
+  in
+  match
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+      (fun () ->
+        output_string oc doc;
+        close_out oc)
+  with
+  | exception Sys_error msg -> `Error (false, msg)
+  | () -> (
+      Printf.printf "wrote %s (schema v%d)\n" out
+        Clof_harness.Report.schema_version;
+      match Clof_harness.Adaptbench.gate t with
+      | [] -> `Ok ()
+      | bad -> `Error (false, "adapt gate: " ^ String.concat "; " bad))
+
 open Cmdliner
 
 let quick =
@@ -287,11 +318,17 @@ let ids_arg =
           "Experiment ids to run (see $(b,clof_bench list)); all of them \
            when omitted.")
 
+let list_flag =
+  Arg.(
+    value & flag
+    & info [ "list" ]
+        ~doc:"List the available experiments and exit (same as $(b,list)).")
+
 let run_cmd =
   let doc = "Reproduce the paper's tables and figures on the simulator" in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(ret (const run_ids $ quick $ jobs_arg $ ids_arg))
+    Term.(ret (const run_ids $ quick $ jobs_arg $ list_flag $ ids_arg))
 
 let list_cmd =
   let doc = "List the available experiments" in
@@ -442,14 +479,35 @@ let faults_cmd =
     (Cmd.info "faults" ~doc)
     Term.(ret (const faults_gate $ quick $ jobs_arg $ out))
 
+let adapt_cmd =
+  let doc =
+    "Run the contention-adaptive composition on the phase-shift \
+     workload and fail unless the adaptive lock tracks the best static \
+     composition in every phase while each static loses somewhere (the \
+     CI adaptivity gate)"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_adaptive.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the per-phase matrix as a schema-v1 report.")
+  in
+  Cmd.v
+    (Cmd.info "adapt" ~doc)
+    Term.(ret (const adapt_gate $ quick $ jobs_arg $ out))
+
 let main =
   let doc =
     "CLoF reproduction: compositional NUMA-aware locks on a simulated \
      multi-level NUMA machine"
   in
   Cmd.group
-    ~default:Term.(ret (const run_ids $ quick $ jobs_arg $ ids_arg))
+    ~default:Term.(ret (const run_ids $ quick $ jobs_arg $ list_flag $ ids_arg))
     (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
-    [ run_cmd; list_cmd; report_cmd; sim_cmd; verify_cmd; xval_cmd; faults_cmd ]
+    [
+      run_cmd; list_cmd; report_cmd; sim_cmd; verify_cmd; xval_cmd;
+      faults_cmd; adapt_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -170,6 +170,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
             (* blocking fallback: acquisition cannot be abandoned —
                Hmcs_t is the timed variant *)
             l_abortable = false;
+            l_adaptive = false;
             handle =
               (fun ?stats ~cpu () ->
                 let ctx = ctx_create t ~cpu in

@@ -308,6 +308,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
             l_fair = true;
             (* true abort: timed abandonment at every tree level *)
             l_abortable = true;
+            l_adaptive = false;
             handle =
               (fun ?stats ~cpu () ->
                 let ctx = ctx_create t ~cpu in

@@ -126,6 +126,7 @@ module Make (M : Clof_atomics.Memory_intf.S) = struct
             l_fair = false;
             (* blocking fallback: acquisition cannot be abandoned *)
             l_abortable = false;
+            l_adaptive = false;
             handle =
               (fun ?stats ~cpu () ->
                 let numa =

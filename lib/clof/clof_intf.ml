@@ -49,6 +49,16 @@ module type S = sig
       higher-level contexts before using them (the context invariant
       makes this race-free). *)
 
+  val set_h : t -> int -> unit
+  (** Retune the [keep_local] threshold H of every level at runtime
+      (clamped to at least 1). Reads of H happen only in the release
+      path of the current owner, so a concurrent retune is benign: each
+      release observes either the old or the new budget, and mutual
+      exclusion never depends on H. No-op on locks without a keep_local
+      budget (depth-1 compositions). This is the knob the adaptive
+      controller ({!Adaptive}) turns for its keep_local-heavy and fair
+      modes. *)
+
   val acquire : t -> ctx -> unit
   val release : t -> ctx -> unit
 

@@ -29,6 +29,9 @@ module Base (B : Clof_locks.Lock_intf.S) = struct
      waits abandoned here are recorded at level 0 (the tree root) *)
   let set_sink ctx sink = ctx.sink <- sink
 
+  (* a basic root lock has no keep_local budget to retune *)
+  let set_h _t _h = ()
+
   let acquire t ctx = B.acquire t.lock ctx.b_ctx
   let release t ctx = B.release t.lock ctx.b_ctx
 
@@ -61,7 +64,10 @@ struct
 
   type t = {
     level : Level.t;
-    h : int;
+    mutable h : int;
+        (* keep_local threshold; read only by the current owner in
+           [release], so a runtime retune ([set_h]) is benign — each
+           release sees either the old or the new budget *)
     topo : Topology.t;
     lows : Low.t array;
     metas : meta array;
@@ -136,6 +142,11 @@ struct
     }
 
   let set_sink ctx sink = ctx.sink <- sink
+
+  let set_h t h =
+    let h = max 1 h in
+    t.h <- h;
+    High.set_h t.high h
 
   (* lockgen(acq(CLoF(l, L), c)) of Figure 8 *)
   let acquire t ctx =

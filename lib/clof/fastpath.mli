@@ -8,7 +8,35 @@
     the CLoF owner competes with fast-path barging for the TAS word, so
     mutual exclusion reduces to the TAS word and ordering to the CLoF
     lock. The price is the paper's usual fast-path caveat: barging can
-    overtake the queue briefly, so strict FIFO fairness is lost. *)
+    overtake the queue briefly, so strict FIFO fairness is lost.
 
-module Make (M : Clof_atomics.Memory_intf.S) (L : Clof_intf.S) :
-  Clof_intf.S
+    The barge is gated by a runtime latch ({!Make.set_armed}, on by
+    default) so an adaptive controller ({!Adaptive}) can {e fission}
+    the fast path off under contention, Fissile-Locks-style. Fission
+    is not merely "stop barging": while disarmed, the first slow-path
+    owner parks the word in a fissioned state and subsequent owners
+    run their critical sections under the slow CLoF lock alone, so
+    handovers stop paying two coherence misses on the globally-shared
+    word line — the cost that would otherwise flatten the locality
+    advantage of the CLoF tree. Bargers CAS the word expecting "free",
+    which a fissioned word never reads, so mutual exclusion never
+    depends on which latch value a thread observed; the one racy
+    transition, re-arming, is performed only by a slow-lock owner
+    (and is therefore ordered by the slow lock itself). A mid-stream
+    flip in either direction strands no waiter. *)
+
+module Make (M : Clof_atomics.Memory_intf.S) (L : Clof_intf.S) : sig
+  include Clof_intf.S
+
+  val set_armed : t -> bool -> unit
+  (** Enable/disable barging. Plain-field write. Disarming takes
+      effect immediately (stale observers still take the word
+      properly, so they are slower, never incorrect); re-arming is
+      recorded and honoured by the next slow-path owner — the only
+      context that can safely reclaim the word from a fissioned era. *)
+
+  val armed : t -> bool
+  (** Whether barging is currently open. [false] with a pending
+      {!set_armed}[ true] until a slow-path owner performs the
+      re-arm. *)
+end

@@ -8,6 +8,7 @@ type lock = {
   l_name : string;
   l_fair : bool;
   l_abortable : bool;
+  l_adaptive : bool;
   handle : ?stats:Clof_stats.Stats.recorder -> cpu:int -> unit -> handle;
 }
 
@@ -27,6 +28,7 @@ let of_clof ?h ~hierarchy (packed : Clof_intf.packed) =
           l_name = L.name;
           l_fair = L.fair;
           l_abortable = L.abortable;
+          l_adaptive = false;
           handle =
             (fun ?stats ~cpu () ->
               let ctx = L.ctx_create t ~cpu in
@@ -54,6 +56,7 @@ let of_basic (type a) (packed : a Clof_locks.Lock_intf.packed) =
           l_name = B.name;
           l_fair = B.fair;
           l_abortable = B.abortable;
+          l_adaptive = false;
           handle =
             (fun ?stats:_ ~cpu () ->
               (* basic locks have no internal instrumentation points;

@@ -31,6 +31,12 @@ type lock = {
           level (see {!Clof_locks.Lock_intf.S.abortable}); [false] for
           polling fallbacks and for baselines whose [try_acquire]
           blocks. *)
+  l_adaptive : bool;
+      (** Whether this lock retunes its own policy online (an armed
+          {!Adaptive} controller): its per-run counters reflect a
+          mix of modes, so regression tooling should compare it
+          against phase-level numbers, not single-mode baselines.
+          [false] for every static composition. *)
   handle : ?stats:Clof_stats.Stats.recorder -> cpu:int -> unit -> handle;
       (** Create this thread's context; call once per thread. [stats]
           installs the thread's observability recorder into the

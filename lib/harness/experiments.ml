@@ -844,6 +844,7 @@ let discover ppf () =
 (* The only experiment whose results depend on the machine running it:
    both legs execute on (a model of) the host, not a paper preset. *)
 let xval_exp ppf () = Xval.pp ppf (Xval.run ~quick:!quick ())
+let adapt_exp ppf () = Adaptbench.pp ppf (Adaptbench.run ~quick:!quick ())
 
 let ids =
   [
@@ -867,6 +868,7 @@ let ids =
     ("locality", "cache-line transfer distances per lock (keep_local observed)");
     ("stats", "per-level lock counters: handover locality, keep_local, latency");
     ("fastpath", "TAS fast-path extension ablation (paper 6)");
+    ("adapt", "contention-adaptive composition on the phase-shift workload");
     ("faults", "stall/crash injection matrix with recovery classification");
     ("scripted", "2-level scripted sweep with HC/LC ranking (4.3)");
     ("sim-throughput", "engine events/sec + allocs/event (wall clock)");
@@ -895,6 +897,7 @@ let run ppf = function
   | "locality" -> locality ppf (); true
   | "stats" -> stats_exp ppf (); true
   | "fastpath" -> fastpath ppf (); true
+  | "adapt" -> adapt_exp ppf (); true
   | "faults" -> faults ppf (); true
   | "scripted" -> scripted_exp ppf (); true
   | "sim-throughput" -> sim_throughput ppf (); true

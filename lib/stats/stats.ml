@@ -120,6 +120,22 @@ let local_ratio r ~level =
   if total = 0 then None
   else Some (float_of_int (at r.local_pass level) /. float_of_int total)
 
+(* allocation-free int-array sum (no ref cell, no closure) for the
+   whole-tree fractions and epoch deltas below *)
+let sum_arr a =
+  let rec go i acc = if i >= Array.length a then acc else go (i + 1) (acc + a.(i)) in
+  go 0 0
+
+let keep_local_fraction r =
+  let kept = sum_arr r.keep_local_kept in
+  let total = kept + sum_arr r.h_exhausted in
+  if total = 0 then 0.0 else float_of_int kept /. float_of_int total
+
+let locality r =
+  let local = sum_arr r.local_pass in
+  let total = local + sum_arr r.remote_pass in
+  if total = 0 then 0.0 else float_of_int local /. float_of_int total
+
 let levels_used r =
   let used = ref 0 in
   for i = 0 to max_levels - 1 do
@@ -163,6 +179,63 @@ let is_empty r =
   && r.timeouts = 0
   && levels_used r = 0
   && latency_samples r = 0
+
+(* ---------- epoch snapshots ----------
+
+   An adaptive controller samples a live recorder once per epoch. A
+   snapshot is just a recorder used as a copy target: [capture] is a
+   field-by-field blit (no allocation), and the [since_*] readers
+   subtract the snapshot from the live recorder without materialising
+   the delta. [delta] builds the difference as a fresh recorder for
+   reporting and tests. *)
+
+type snapshot = recorder
+
+let snapshot = create
+
+let capture s r =
+  s.acquisitions <- r.acquisitions;
+  s.fastpath <- r.fastpath;
+  s.contended <- r.contended;
+  s.spins <- r.spins;
+  s.timeouts <- r.timeouts;
+  Array.blit r.local_pass 0 s.local_pass 0 max_levels;
+  Array.blit r.remote_pass 0 s.remote_pass 0 max_levels;
+  Array.blit r.keep_local_kept 0 s.keep_local_kept 0 max_levels;
+  Array.blit r.h_exhausted 0 s.h_exhausted 0 max_levels;
+  Array.blit r.aborts 0 s.aborts 0 max_levels;
+  Array.blit r.latency 0 s.latency 0 nbuckets
+
+let delta ~prev ~cur =
+  let arr2 f g = Array.init (Array.length f) (fun i -> f.(i) - g.(i)) in
+  {
+    acquisitions = cur.acquisitions - prev.acquisitions;
+    fastpath = cur.fastpath - prev.fastpath;
+    contended = cur.contended - prev.contended;
+    spins = cur.spins - prev.spins;
+    timeouts = cur.timeouts - prev.timeouts;
+    local_pass = arr2 cur.local_pass prev.local_pass;
+    remote_pass = arr2 cur.remote_pass prev.remote_pass;
+    keep_local_kept = arr2 cur.keep_local_kept prev.keep_local_kept;
+    h_exhausted = arr2 cur.h_exhausted prev.h_exhausted;
+    aborts = arr2 cur.aborts prev.aborts;
+    latency = arr2 cur.latency prev.latency;
+  }
+
+let since_acquisitions r (s : snapshot) = r.acquisitions - s.acquisitions
+let since_fastpath r (s : snapshot) = r.fastpath - s.fastpath
+let since_contended r (s : snapshot) = r.contended - s.contended
+let since_spins r (s : snapshot) = r.spins - s.spins
+
+let since_handovers r (s : snapshot) =
+  sum_arr r.local_pass + sum_arr r.remote_pass
+  - sum_arr s.local_pass - sum_arr s.remote_pass
+
+let since_local_pass r (s : snapshot) =
+  sum_arr r.local_pass - sum_arr s.local_pass
+
+let since_h_exhausted r (s : snapshot) =
+  sum_arr r.h_exhausted - sum_arr s.h_exhausted
 
 (* ---------- JSON ---------- *)
 

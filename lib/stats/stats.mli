@@ -83,6 +83,56 @@ val aborts : recorder -> level:int -> int
 val levels_used : recorder -> int
 (** 1 + highest level index with any per-level activity; 0 if none. *)
 
+val keep_local_fraction : recorder -> float
+(** Of all keep_local decisions across every level (kept +
+    h_exhausted), the fraction that granted another intra-cohort pass.
+    Always in [\[0, 1\]]; 0.0 when no decisions were taken. *)
+
+val locality : recorder -> float
+(** Of all handovers across every level, the fraction that stayed
+    inside the cohort. Always in [\[0, 1\]]; 0.0 when no handovers. *)
+
+(** {2 Epoch snapshots}
+
+    The adaptive controller ({!Clof_core.Adaptive}) samples a live
+    recorder once per epoch. [capture] copies the recorder into a
+    preallocated snapshot without allocating, and the [since_*] readers
+    compute scalar deltas between a live recorder and its last snapshot
+    — also allocation-free, so sampling costs nothing on the hot
+    path. *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** A fresh all-zero snapshot (equivalent to a snapshot of a fresh
+    recorder). *)
+
+val capture : snapshot -> recorder -> unit
+(** [capture s r] overwrites [s] with the current contents of [r].
+    Allocation-free. *)
+
+val delta : prev:snapshot -> cur:snapshot -> recorder
+(** Element-wise [cur - prev] as a fresh recorder, so
+    [delta ~prev:s0 ~cur:s1] merged with [delta ~prev:s1 ~cur:s2]
+    equals [delta ~prev:s0 ~cur:s2]. Allocates; meant for reporting
+    and tests, not the hot path. *)
+
+val since_acquisitions : recorder -> snapshot -> int
+val since_fastpath : recorder -> snapshot -> int
+val since_contended : recorder -> snapshot -> int
+val since_spins : recorder -> snapshot -> int
+
+val since_handovers : recorder -> snapshot -> int
+(** Handovers (local + remote, summed over all levels) since the
+    snapshot. *)
+
+val since_local_pass : recorder -> snapshot -> int
+(** Intra-cohort handovers (all levels) since the snapshot. *)
+
+val since_h_exhausted : recorder -> snapshot -> int
+(** keep_local denials (all levels) since the snapshot — each one
+    witnessed a parked local waiter. *)
+
 (** {2 Latency histogram} *)
 
 val bucket_of_ns : int -> int

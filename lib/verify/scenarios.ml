@@ -350,6 +350,131 @@ let hmcst_abort ?(threads = 3) ?strategy ~deadline ~mode () =
     scenario;
   }
 
+(* Mode-switch safety for the adaptive aspect (Clof_core.Adaptive):
+   one thread forces the controller through its three policies —
+   fastpath-mostly, fair, keep_local-heavy — between its own critical
+   sections while the others run acquire/release (or a timed
+   acquisition) streams. A mode switch is two plain-field writes (the
+   barging latch, the H budget), so the checker schedules each flip
+   atomically at every position relative to the other threads'
+   visible operations: mid-barge, while a waiter is parked on the slow
+   queue, between a queued owner's slow-lock win and its word CAS,
+   racing an abort's rescue path. The claim under check is that
+   mutual exclusion and progress never depend on which latch value an
+   acquire observed: the cs monitor catches a breach (two owners
+   straddling a flip), the deadlock detector catches a stranded
+   waiter (a flip orphaning someone parked on the word or the slow
+   queue), and the instrumented root catches a context-invariant
+   violation on the inherited high-lock context. *)
+module Adapt1 = Clof_core.Adaptive.Make (Vmem) (Root)
+module Adapt2 = Clof_core.Adaptive.Make (Vmem) (Clof2)
+module Adapt_abort = Clof_core.Adaptive.Make (Vmem) (Abort_clof2)
+
+let switch_cycle (force : Clof_core.Adaptive.mode -> unit) section =
+  (* one full policy lap: barge -> strict handover -> raised H -> barge,
+     with a critical section inside each non-default mode *)
+  force Clof_core.Adaptive.Fair;
+  section ();
+  force Clof_core.Adaptive.Keep_local_heavy;
+  section ();
+  force Clof_core.Adaptive.Fastpath_mostly
+
+let adapt_switch ?(threads = 3) ?strategy ~mode () =
+  let scenario () =
+    let topo = mini_topo 1 in
+    let lock = Adapt1.create ~h:2 ~topo ~hierarchy:(mini_hierarchy 1) () in
+    let payload = mk_payload () in
+    List.init threads (fun cpu ->
+        let ctx = Adapt1.ctx_create lock ~cpu in
+        fun () ->
+          if cpu = 0 then
+            switch_cycle (Adapt1.force lock) (fun () ->
+                Adapt1.acquire lock ctx;
+                payload ();
+                Adapt1.release lock ctx)
+          else
+            for _ = 1 to 2 do
+              Adapt1.acquire lock ctx;
+              payload ();
+              Adapt1.release lock ctx
+            done)
+  in
+  {
+    sname =
+      Printf.sprintf "adapt/switch-load ad-tkt %dT [%s]" threads
+        (mode_tag mode);
+    config = config_of ?strategy mode;
+    expect_violation = false;
+    scenario;
+  }
+
+let adapt_switch_parked ?(threads = 3) ?strategy ~mode () =
+  (* depth-2 inner lock: waiters park on the slow tree's low level
+     while the flip lands; the switcher takes no lock of its own, so
+     its whole mode lap interleaves freely with a parked waiter *)
+  let scenario () =
+    let topo = mini_topo 2 in
+    let lock = Adapt2.create ~h:2 ~topo ~hierarchy:(mini_hierarchy 2) () in
+    let payload = mk_payload () in
+    List.init threads (fun cpu ->
+        let ctx = Adapt2.ctx_create lock ~cpu in
+        fun () ->
+          if cpu = 0 then
+            switch_cycle (Adapt2.force lock) (fun () -> ())
+          else
+            for _ = 1 to 2 do
+              Adapt2.acquire lock ctx;
+              payload ();
+              Adapt2.release lock ctx
+            done)
+  in
+  {
+    sname =
+      Printf.sprintf "adapt/switch-parked ad-clof<2> %dT [%s]" threads
+        (mode_tag mode);
+    config = config_of ?strategy mode;
+    expect_violation = false;
+    scenario;
+  }
+
+let adapt_switch_abort ?(threads = 3) ?strategy ~mode () =
+  (* timed acquisition racing the flip: the abortable MCS composition
+     underneath means the expired waiter runs the full abandonment +
+     rescue protocol while the latch and H budget change under it *)
+  let scenario () =
+    let topo = mini_topo 2 in
+    let lock =
+      Adapt_abort.create ~h:2 ~topo ~hierarchy:(mini_hierarchy 2) ()
+    in
+    let payload = mk_payload () in
+    List.init threads (fun cpu ->
+        let ctx = Adapt_abort.ctx_create lock ~cpu in
+        fun () ->
+          match cpu with
+          | 0 ->
+              for _ = 1 to 2 do
+                if Adapt_abort.try_acquire lock ctx ~deadline:0 then begin
+                  payload ();
+                  Adapt_abort.release lock ctx
+                end
+              done
+          | 1 -> switch_cycle (Adapt_abort.force lock) (fun () -> ())
+          | _ ->
+              for _ = 1 to 2 do
+                Adapt_abort.acquire lock ctx;
+                payload ();
+                Adapt_abort.release lock ctx
+              done)
+  in
+  {
+    sname =
+      Printf.sprintf "adapt/switch-abort ad-clof<2> mcs %dT [%s]" threads
+        (mode_tag mode);
+    config = config_of ?strategy mode;
+    expect_violation = false;
+    scenario;
+  }
+
 let peterson ?strategy ~fenced ~mode () =
   let scenario () =
     let module P =
@@ -612,12 +737,13 @@ let litmus_corr ?strategy ~mode () =
 (* The suite                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type group = Base | Abort | Induction | Exhibit | Litmus
+type group = Base | Abort | Induction | Adapt | Exhibit | Litmus
 
 let group_tag = function
   | Base -> "base"
   | Abort -> "abort"
   | Induction -> "induction"
+  | Adapt -> "adapt"
   | Exhibit -> "exhibit"
   | Litmus -> "litmus"
 
@@ -688,6 +814,17 @@ let suite ?(quick = false) ?strategy () =
           abort_induction ?strategy ~mode:Vstate.Relaxed ();
         ])
   in
+  let adapt =
+    List.concat_map
+      (fun mode ->
+        List.map (entry Adapt)
+          [
+            adapt_switch ?strategy ~mode ();
+            adapt_switch_parked ?strategy ~mode ();
+            adapt_switch_abort ?strategy ~mode ();
+          ])
+      modes
+  in
   let exhibits =
     List.map
       (entry Exhibit)
@@ -718,7 +855,7 @@ let suite ?(quick = false) ?strategy () =
           ])
       modes
   in
-  base @ aborts @ induction @ exhibits @ litmus
+  base @ aborts @ induction @ adapt @ exhibits @ litmus
 
 let run_entry e =
   let r = run e.e_named in

@@ -91,6 +91,30 @@ val hmcst_abort :
     level). Checks mutual exclusion and that no waiter is stranded
     behind an abandoned node. *)
 
+val adapt_switch :
+  ?threads:int -> ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
+(** Mode-switch safety of the adaptive aspect
+    ({!Clof_core.Adaptive}): one thread forces the controller through
+    fair, keep_local-heavy, and back to fastpath-mostly — with a
+    critical section of its own inside each mode — while two others
+    run blocking acquire/release streams on the wrapped depth-1 lock.
+    Checks that mutual exclusion and progress never depend on which
+    latch/H value an acquire observed. *)
+
+val adapt_switch_parked :
+  ?threads:int -> ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
+(** The same policy lap landing while waiters are parked inside a
+    depth-2 composition's slow path (instrumented root): the switcher
+    takes no lock, so every flip position relative to a parked waiter
+    is explored; a stranded waiter surfaces as the checker's deadlock
+    verdict. *)
+
+val adapt_switch_abort :
+  ?threads:int -> ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
+(** The policy lap racing a timed acquisition on an abortable all-MCS
+    composition: the expired waiter's abandonment + rescue protocol
+    runs while the latch and H budget change under it. *)
+
 val peterson :
   ?strategy:Checker.strategy -> fenced:bool -> mode:Vstate.mode -> unit -> named
 
@@ -143,7 +167,7 @@ val litmus_corr : ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> name
 
 (** {1 The suite} *)
 
-type group = Base | Abort | Induction | Exhibit | Litmus
+type group = Base | Abort | Induction | Adapt | Exhibit | Litmus
 
 val group_tag : group -> string
 
@@ -162,7 +186,7 @@ val suite : ?quick:bool -> ?strategy:Checker.strategy -> unit -> entry list
     (SC, TSO, Relaxed), abort steps (basic locks and HMCS-T, both
     deadline variants, all modes), induction steps (depth 2 in all
     modes, plus depth 3 in all modes unless [quick]), abort induction
-    (all modes),
+    (all modes), the adaptive mode-switch trio (all modes),
     Peterson exhibits, and the litmus battery per mode. [strategy]
     overrides the checker strategy on every entry (default DPOR). *)
 

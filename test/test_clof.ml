@@ -244,6 +244,118 @@ let test_fastpath_verified () =
   in
   check_bool "no violation" true (r.Clof_verify.Checker.violation = None)
 
+(* ---------- adaptive aspect ---------- *)
+
+let test_adaptive_correct () =
+  (* live controller (short epochs, no hysteresis) plus thread 0
+     dragging the policy through every mode mid-stream: counts must
+     stay exact and critical sections exclusive across the flips *)
+  let packed = G.build [ R.ticket; R.mcs ] in
+  let (module L) = packed in
+  let module A = Clof_core.Adaptive.Make (M) (L) in
+  let platform = Platform.tiny in
+  let lock =
+    A.create ~h:8 ~topo:platform.Platform.topo
+      ~hierarchy:[ Level.Numa_node; Level.System ]
+      ()
+  in
+  A.arm ~epoch:8 ~hysteresis:1 lock;
+  Alcotest.(check string) "name" "ad-tkt-mcs" A.name;
+  let counter = ref 0 in
+  let in_cs = ref 0 in
+  let overlaps = ref 0 in
+  let body cpu =
+    let ctx = A.ctx_create lock ~cpu in
+    fun tid ->
+      for i = 1 to 100 do
+        if tid = 0 then
+          A.force lock
+            (match i mod 3 with
+            | 0 -> Clof_core.Adaptive.Fastpath_mostly
+            | 1 -> Clof_core.Adaptive.Keep_local_heavy
+            | _ -> Clof_core.Adaptive.Fair);
+        A.acquire lock ctx;
+        incr in_cs;
+        if !in_cs <> 1 then incr overlaps;
+        E.work 15;
+        counter := !counter + 1;
+        decr in_cs;
+        A.release lock ctx
+      done
+  in
+  let cpus = Topology.pick_cpus platform.Platform.topo ~nthreads:16 in
+  let threads =
+    Array.to_list (Array.map (fun cpu -> (cpu, body cpu)) cpus)
+  in
+  let o = E.run ~duration:max_int ~platform ~threads () in
+  check_int "count" 1600 !counter;
+  check_int "no overlap" 0 !overlaps;
+  check_bool "no hang" true (not o.E.hung);
+  check_bool "controller switched" true (A.switches lock > 0)
+
+let test_adaptive_verified () =
+  (* model-check the aspect like any other lock, controller live on
+     every acquire (epoch 1) so decide/vote interleave with the
+     word/fission protocol under DPOR *)
+  let module T = Clof_locks.Ticket.Make (Clof_verify.Vmem) in
+  let module B = Clof_core.Compose.Base (T) in
+  let module A = Clof_core.Adaptive.Make (Clof_verify.Vmem) (B) in
+  let topo =
+    Topology.create ~name:"ad1" ~ncpus:3 ~core_of:Fun.id ~cache_of:Fun.id
+      ~numa_of:Fun.id
+      ~pkg_of:(fun _ -> 0)
+  in
+  let scenario () =
+    let lock = A.create ~topo ~hierarchy:[ Level.System ] () in
+    A.arm ~epoch:1 ~hysteresis:1 lock;
+    let data = Clof_verify.Vmem.make ~name:"data" 0 in
+    List.init 3 (fun cpu ->
+        let ctx = A.ctx_create lock ~cpu in
+        fun () ->
+          for _ = 1 to 2 do
+            A.acquire lock ctx;
+            Clof_verify.Checker.cs_enter ();
+            let v = Clof_verify.Vmem.load data in
+            Clof_verify.Vmem.store data (v + 1);
+            Clof_verify.Checker.cs_exit ();
+            A.release lock ctx
+          done)
+  in
+  let r =
+    Clof_verify.Checker.check
+      ~config:
+        (Clof_verify.Checker.Config.with_budget ~executions:20_000
+           (Clof_verify.Checker.sc ()))
+      ~name:"adaptive" scenario
+  in
+  check_bool "no violation" true (r.Clof_verify.Checker.violation = None)
+
+let test_adaptive_zero_alloc () =
+  (* the zero-overhead claim: with the controller off, acquire/release
+     through the wrapper allocates nothing — measured on the native
+     backend (the simulator's engine allocates for its own bookkeeping) *)
+  let module NR = Clof_locks.Registry.Make (Clof_atomics.Real_mem) in
+  let module NG = Clof_core.Generator.Make (Clof_atomics.Real_mem) in
+  let (module L) = NG.build [ NR.ticket; NR.mcs ] in
+  let module A = Clof_core.Adaptive.Make (Clof_atomics.Real_mem) (L) in
+  let topo = Platform.tiny.Platform.topo in
+  let lock =
+    A.create ~topo ~hierarchy:[ Level.Numa_node; Level.System ] ()
+  in
+  let ctx = A.ctx_create lock ~cpu:0 in
+  (* warm up once outside the window *)
+  A.acquire lock ctx;
+  A.release lock ctx;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    A.acquire lock ctx;
+    A.release lock ctx
+  done;
+  let words = Gc.minor_words () -. w0 in
+  check_bool
+    (Printf.sprintf "%.0f minor words for 10k acquire/release" words)
+    true (words < 256.0)
+
 (* ---------- selection ---------- *)
 
 let mk_series lock points = { Sel.lock; points }
@@ -392,7 +504,7 @@ let test_runtime_rename () =
   Alcotest.(check string) "instance renamed" "alias" lock.RT.l_name
 
 let test_aspects_table () =
-  check_int "six algorithms" 6 (List.length Clof_core.Aspects.table);
+  check_int "nine algorithms" 9 (List.length Clof_core.Aspects.table);
   let clof =
     List.find (fun e -> e.Clof_core.Aspects.algorithm = "CLoF")
       Clof_core.Aspects.table
@@ -428,6 +540,12 @@ let () =
             test_fastpath_correct;
           Alcotest.test_case "fast path verified" `Quick
             test_fastpath_verified;
+          Alcotest.test_case "adaptive correct" `Quick
+            test_adaptive_correct;
+          Alcotest.test_case "adaptive verified" `Quick
+            test_adaptive_verified;
+          Alcotest.test_case "adaptive zero-alloc" `Quick
+            test_adaptive_zero_alloc;
         ] );
       ( "selection",
         [

@@ -100,6 +100,89 @@ let test_merge_counts () =
   check_bool "merge left originals alone" true
     (S.acquisitions a = 1 && S.acquisitions b = 1)
 
+(* ---------- derived ratios ---------- *)
+
+let test_ratio_bounds =
+  QCheck.Test.make
+    ~name:"keep_local_fraction and locality stay in [0, 1]" ~count:300
+    events_arb
+    (fun es ->
+      let r = record es in
+      let in_unit v = v >= 0.0 && v <= 1.0 in
+      in_unit (S.keep_local_fraction r) && in_unit (S.locality r))
+
+let test_ratio_empty () =
+  let r = S.create () in
+  check_bool "empty keep_local_fraction" true
+    (S.keep_local_fraction r = 0.0);
+  check_bool "empty locality" true (S.locality r = 0.0);
+  let all_local = record [ Handover (1, true); Keep_local (1, true) ] in
+  check_bool "all-local locality" true (S.locality all_local = 1.0);
+  check_bool "all-kept fraction" true
+    (S.keep_local_fraction all_local = 1.0)
+
+(* ---------- epoch snapshots ---------- *)
+
+let test_snapshot_delta () =
+  let r = S.create () in
+  let sink = S.Sink.of_recorder r in
+  let e1 = [ Acquired 5; Fast; Handover (1, true); Keep_local (1, true) ] in
+  let e2 = [ Acquired 9; Contended; Spin 2; Handover (1, false); Timeout ] in
+  let s0 = S.snapshot () in
+  List.iter (apply sink) e1;
+  let s1 = S.snapshot () in
+  S.capture s1 r;
+  List.iter (apply sink) e2;
+  let s2 = S.snapshot () in
+  S.capture s2 r;
+  (* consecutive deltas merge back into the whole recorder *)
+  check_bool "deltas sum to the full recorder" true
+    (S.equal
+       (S.merge (S.delta ~prev:s0 ~cur:s1) (S.delta ~prev:s1 ~cur:s2))
+       r);
+  check_bool "each delta matches its event batch" true
+    (S.equal (S.delta ~prev:s0 ~cur:s1) (record e1)
+    && S.equal (S.delta ~prev:s1 ~cur:s2) (record e2))
+
+let test_since_readers () =
+  let r = S.create () in
+  let sink = S.Sink.of_recorder r in
+  let snap = S.snapshot () in
+  List.iter (apply sink) [ Acquired 3; Fast ];
+  S.capture snap r;
+  List.iter (apply sink)
+    [
+      Acquired 7; Contended; Spin 5; Handover (0, false);
+      Handover (1, true); Keep_local (2, false);
+    ];
+  check_int "since_acquisitions" 1 (S.since_acquisitions r snap);
+  check_int "since_fastpath" 0 (S.since_fastpath r snap);
+  check_int "since_contended" 1 (S.since_contended r snap);
+  check_int "since_spins" 5 (S.since_spins r snap);
+  check_int "since_handovers" 2 (S.since_handovers r snap);
+  check_int "since_local_pass" 1 (S.since_local_pass r snap);
+  check_int "since_h_exhausted" 1 (S.since_h_exhausted r snap);
+  (* capturing again zeroes every delta *)
+  S.capture snap r;
+  check_int "recapture zeroes acquisitions" 0 (S.since_acquisitions r snap);
+  check_int "recapture zeroes handovers" 0 (S.since_handovers r snap)
+
+let test_snapshot_qcheck =
+  QCheck.Test.make
+    ~name:"delta of consecutive snapshots recovers the tail events"
+    ~count:200
+    QCheck.(pair events_arb events_arb)
+    (fun (e1, e2) ->
+      let r = S.create () in
+      let sink = S.Sink.of_recorder r in
+      List.iter (apply sink) e1;
+      let s1 = S.snapshot () in
+      S.capture s1 r;
+      List.iter (apply sink) e2;
+      let s2 = S.snapshot () in
+      S.capture s2 r;
+      S.equal (S.delta ~prev:s1 ~cur:s2) (record e2))
+
 (* ---------- histogram buckets ---------- *)
 
 let test_bucket_boundaries () =
@@ -476,6 +559,15 @@ let () =
           qcheck test_merge_associative;
           qcheck test_merge_identity;
           Alcotest.test_case "counts add up" `Quick test_merge_counts;
+          qcheck test_ratio_bounds;
+          Alcotest.test_case "ratio edge cases" `Quick test_ratio_empty;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "consecutive deltas sum" `Quick
+            test_snapshot_delta;
+          Alcotest.test_case "since_* readers" `Quick test_since_readers;
+          qcheck test_snapshot_qcheck;
         ] );
       ( "histogram",
         [

@@ -53,6 +53,7 @@ let test_broken_lock_detected () =
             RT.l_name = "broken";
             l_fair = false;
             l_abortable = false;
+            l_adaptive = false;
             handle =
               (fun ?stats:_ ~cpu:_ () ->
                 {
