@@ -2,9 +2,16 @@
    points by (experiment, lock, threads) and fail when the current
    report shows a throughput regression or a fairness loss against the
    baseline. Exit codes: 0 clean, 1 regression (or nothing comparable),
-   2 unreadable/invalid report. *)
+   2 unreadable/invalid report.
+
+   Which experiments join the comparison and how the rest are printed
+   both come from the experiment registry (Clof_harness.Registry):
+   only Gated_series experiments enter the join, and every archived
+   experiment is decoded by its registered reader — this file knows no
+   experiment ids. *)
 
 module Report = Clof_harness.Report
+module Registry = Clof_harness.Registry
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -41,260 +48,6 @@ let pp_meta label (r : Report.t) =
         "bench_check: %s harness: %d job(s), %.2fs wall, %.2fx speedup\n"
         label m.Report.jobs m.Report.wall_s m.Report.speedup
 
-(* Exploration statistics from a verify report (clof_bench verify),
-   decoded from the slot encoding documented in Verifybench. Printed
-   for trend-watching only: the counters are workload- and wall-clock-
-   dependent, and the verdicts are already gated by clof_bench verify
-   itself, so none of this joins the regression gate. *)
-let has_verify (r : Report.t) =
-  List.exists
-    (fun (e : Report.experiment) -> e.Report.exp_id = "verify")
-    r.experiments
-
-let pp_verify label (r : Report.t) =
-  List.iter
-    (fun (e : Report.experiment) ->
-      if e.Report.exp_id = "verify" then begin
-        Printf.printf "bench_check: %s verify statistics (%s):\n" label
-          e.Report.workload;
-        List.iter
-          (fun (s : Report.series) ->
-            let slot n =
-              List.find_opt
-                (fun (p : Report.point) -> p.Report.threads = n)
-                s.Report.points
-            in
-            let ops n =
-              match slot n with
-              | Some p -> p.Report.total_ops
-              | None -> 0
-            in
-            match slot 1 with
-            | None -> ()
-            | Some p ->
-                let exhaustive =
-                  match slot 5 with
-                  | Some q -> q.Report.jain >= 1.0
-                  | None -> false
-                in
-                Printf.printf
-                  "  %-40s %7d execs %9d steps %-10s [%d pruned, %d \
-                   sleep, %d races, %d complete%s]\n"
-                  s.Report.lock p.Report.total_ops p.Report.sim_ns
-                  (if p.Report.jain >= 1.0 then "ok" else "UNEXPECTED")
-                  (ops 2) (ops 3) (ops 4) (ops 5)
-                  (if exhaustive then ", exhaustive" else ""))
-          e.Report.series
-      end)
-    r.experiments
-
-(* Cross-validation results from a native report (clof_bench xval),
-   decoded from the slot encoding documented in Xval: the coefficient
-   series pack the rank correlation into [throughput] (threads = 0 is
-   the overall HC-score slot; total_ops = 0 marks an undefined
-   coefficient), and every lock appears twice — native under its own
-   name, simulated under "<lock>/sim". Printed only: native throughput
-   is wall clock on whatever runner produced it, and the correlation is
-   already gated by clof_bench xval --min-corr. *)
-let has_xval (r : Report.t) =
-  List.exists
-    (fun (e : Report.experiment) -> e.Report.exp_id = "xval")
-    r.experiments
-
-let starts_with ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
-let ends_with ~suffix s =
-  let n = String.length s and m = String.length suffix in
-  n >= m && String.sub s (n - m) m = suffix
-
-let pp_xval label (r : Report.t) =
-  List.iter
-    (fun (e : Report.experiment) ->
-      if e.Report.exp_id = "xval" then begin
-        Printf.printf "bench_check: %s cross-validation (%s, %s):\n" label
-          e.Report.platform e.Report.workload;
-        let pp_coefs name =
-          match
-            List.find_opt
-              (fun (s : Report.series) -> s.Report.lock = "xval/" ^ name)
-              e.Report.series
-          with
-          | None -> ()
-          | Some s ->
-              List.iter
-                (fun (p : Report.point) ->
-                  let v =
-                    if p.Report.total_ops = 0 then "n/a (ties)"
-                    else Printf.sprintf "%+.3f" p.Report.throughput
-                  in
-                  if p.Report.threads = 0 then
-                    Printf.printf
-                      "  %-8s overall HC-score ordering (%d locks): %s\n"
-                      name p.Report.total_ops v
-                  else
-                    Printf.printf "  %-8s %3d threads: %s\n" name
-                      p.Report.threads v)
-                s.Report.points
-        in
-        pp_coefs "spearman";
-        pp_coefs "kendall";
-        (* per-composition backend deltas: native wall-clock ops/us
-           next to the simulator's ops per simulated us — different
-           clocks, so only the across-locks ordering means anything *)
-        List.iter
-          (fun (s : Report.series) ->
-            if
-              (not (starts_with ~prefix:"xval/" s.Report.lock))
-              && not (ends_with ~suffix:"/sim" s.Report.lock)
-            then
-              match
-                List.find_opt
-                  (fun (s' : Report.series) ->
-                    s'.Report.lock = s.Report.lock ^ "/sim")
-                  e.Report.series
-              with
-              | None -> ()
-              | Some sim ->
-                  List.iter
-                    (fun (p : Report.point) ->
-                      match
-                        List.find_opt
-                          (fun (q : Report.point) ->
-                            q.Report.threads = p.Report.threads)
-                          sim.Report.points
-                      with
-                      | None -> ()
-                      | Some q ->
-                          Printf.printf
-                            "  %-16s %3dT: native %9.4f ops/us (wall)  \
-                             sim %9.4f ops/us\n"
-                            s.Report.lock p.Report.threads
-                            p.Report.throughput q.Report.throughput)
-                    s.Report.points)
-          e.Report.series
-      end)
-    r.experiments
-
-(* Fault-matrix cells from a faults report (clof_bench faults),
-   decoded from the slot encoding documented in Faultbench. Printed
-   for trend-watching only: the recovery gate already ran inside
-   clof_bench faults, so none of this joins the regression gate. *)
-let has_faults (r : Report.t) =
-  List.exists
-    (fun (e : Report.experiment) -> e.Report.exp_id = "faults")
-    r.experiments
-
-let pp_faults label (r : Report.t) =
-  List.iter
-    (fun (e : Report.experiment) ->
-      if e.Report.exp_id = "faults" then begin
-        Printf.printf "bench_check: %s fault matrix (%s):\n" label
-          e.Report.workload;
-        let class_name = function
-          | 0 -> "recovered"
-          | 1 -> "degraded"
-          | 2 -> "wedged"
-          | _ -> "?"
-        in
-        List.iter
-          (fun (s : Report.series) ->
-            let flags =
-              match
-                List.find_opt
-                  (fun (p : Report.point) -> p.Report.threads = 0)
-                  s.Report.points
-              with
-              | Some p -> p.Report.total_ops
-              | None -> 0
-            in
-            let cells =
-              List.filter_map
-                (fun (p : Report.point) ->
-                  if p.Report.threads = 0 then None
-                  else
-                    Some
-                      (Printf.sprintf "%s(%d,+r%.0f)"
-                         (class_name p.Report.sim_ns)
-                         p.Report.total_ops p.Report.throughput))
-                s.Report.points
-            in
-            Printf.printf "  %-20s%s%s %s\n" s.Report.lock
-              (if flags land 1 <> 0 then " [fair]" else "")
-              (if flags land 2 <> 0 then " [abort]" else "")
-              (String.concat " " cells))
-          e.Report.series
-      end)
-    r.experiments
-
-(* Per-phase matrix from an adapt report (clof_bench adapt), decoded
-   from the encoding documented in Adaptbench: one point per phase per
-   lock (phases in series order), plus a "controller" series whose
-   slots carry the adaptive lock's mode-switch count (total_ops) and
-   settled mode (sim_ns) per phase. Printed for trend-watching only:
-   the within-10%%-of-best gate already ran inside clof_bench adapt,
-   and the two low phases share a thread count, so these points cannot
-   join the deterministic (lock, threads) regression key. *)
-let has_adapt (r : Report.t) =
-  List.exists
-    (fun (e : Report.experiment) -> e.Report.exp_id = "adapt")
-    r.experiments
-
-let pp_adapt label (r : Report.t) =
-  List.iter
-    (fun (e : Report.experiment) ->
-      if e.Report.exp_id = "adapt" then begin
-        Printf.printf "bench_check: %s adaptive phases (%s, %s):\n" label
-          e.Report.platform e.Report.workload;
-        let mode_name = function
-          | 0 -> "fastpath"
-          | 1 -> "keep_local"
-          | 2 -> "fair"
-          | _ -> "?"
-        in
-        List.iter
-          (fun (s : Report.series) ->
-            if s.Report.lock = "controller" then
-              List.iter
-                (fun (p : Report.point) ->
-                  Printf.printf
-                    "  controller phase %d: %d switch(es), settled in %s\n"
-                    p.Report.threads p.Report.total_ops
-                    (mode_name p.Report.sim_ns))
-                s.Report.points
-            else
-              Printf.printf "  %-12s %s\n" s.Report.lock
-                (String.concat "  "
-                   (List.map
-                      (fun (p : Report.point) ->
-                        Printf.sprintf "%3dT %7.3f ops/us" p.Report.threads
-                          p.Report.throughput)
-                      s.Report.points)))
-          e.Report.series
-      end)
-    r.experiments
-
-(* verify series carry checker counters in the point slots, xval
-   series carry native wall-clock numbers and packed coefficients,
-   faults series carry recovery classes, and adapt phases reuse thread
-   counts (two low phases) under a gate that already ran — none of it
-   is a joinable benchmark result; comparing any across runs would
-   gate on wall-clock or on bookkeeping. Strip all four before the
-   join. *)
-let gateable (r : Report.t) =
-  {
-    r with
-    Report.experiments =
-      List.filter
-        (fun (e : Report.experiment) ->
-          e.Report.exp_id <> "verify"
-          && e.Report.exp_id <> "xval"
-          && e.Report.exp_id <> "faults"
-          && e.Report.exp_id <> "adapt")
-        r.experiments;
-  }
-
 let check baseline current max_drop max_jain_drop min_jain require_all =
   match (load baseline, load current) with
   | Error msg, _ | _, Error msg ->
@@ -303,15 +56,15 @@ let check baseline current max_drop max_jain_drop min_jain require_all =
   | Ok base, Ok cur ->
       pp_meta "baseline" base;
       pp_meta "current" cur;
-      if has_verify cur then pp_verify "current" cur
-      else if has_verify base then pp_verify "baseline" base;
-      if has_xval cur then pp_xval "current" cur
-      else if has_xval base then pp_xval "baseline" base;
-      if has_faults cur then pp_faults "current" cur
-      else if has_faults base then pp_faults "baseline" base;
-      if has_adapt cur then pp_adapt "current" cur
-      else if has_adapt base then pp_adapt "baseline" base;
-      let base = gateable base and cur = gateable cur in
+      (* non-joinable experiments (verify counters, native wall clock,
+         fault classes, per-phase matrices, sojourn histograms): print
+         each archive through its registered decoder, preferring the
+         current report's copy *)
+      Registry.decode_either ~baseline:base ~current:cur;
+      (* the regression join runs only on Gated_series experiments:
+         everything else is either bookkeeping in benchmark clothing or
+         trajectory data under a gate that already ran at produce time *)
+      let base = Registry.gated base and cur = Registry.gated cur in
       let cur_points = flatten cur in
       let find key =
         List.find_opt (fun k -> k.key = key) cur_points
@@ -356,8 +109,8 @@ let check baseline current max_drop max_jain_drop min_jain require_all =
         (flatten base);
       if !compared = 0 then
         if flatten base = [] && flatten cur = [] then begin
-          (* verify-only reports: statistics printed above, nothing
-             left to gate *)
+          (* archives with no gateable experiments (verify-only, kv-only,
+             ...): the readbacks printed above are all there is *)
           print_endline "bench_check: OK — no gateable points";
           exit 0
         end

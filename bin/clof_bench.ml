@@ -1,17 +1,32 @@
 (* Command-line driver: reproduce any table/figure of the paper, or the
    whole evaluation. `clof_bench list` shows the experiment index;
    `clof_bench report` emits the machine-readable JSON report CI
-   archives and diffs with bench_check. *)
+   archives and diffs with bench_check. Report-producing experiments
+   dispatch through the registry (Clof_harness.Registry): each entry
+   supplies its subcommand name, default artifact and canonical gate
+   run, so this file holds no per-experiment id lists. *)
+
+module Registry = Clof_harness.Registry
+
+let kind_label = function
+  | Clof_harness.Report.Gated_series -> "gated"
+  | Clof_harness.Report.Report_only -> "report-only"
+  | Clof_harness.Report.Excluded_from_join -> "own-gate"
 
 let list_experiments () =
   List.iter
     (fun (id, descr) -> Printf.printf "%-16s %s\n" id descr)
     Clof_harness.Experiments.ids;
   print_newline ();
-  print_endline "report experiments (clof_bench report):";
+  print_endline
+    "report experiments (clof_bench <id> [--quick] [--out FILE]; the \
+     bracket is the cross-run join policy):";
   List.iter
-    (fun (id, descr) -> Printf.printf "%-16s %s\n" id descr)
-    Clof_harness.Report.ids
+    (fun (e : Registry.entry) ->
+      Printf.printf "%-8s %-12s %s\n" e.Registry.id
+        ("[" ^ kind_label e.Registry.kind ^ "]")
+        e.Registry.doc)
+    Registry.all
 
 (* [-j 0] (the cmdliner default) means "pick for me": one job per
    recommended domain. Results are identical for every job count — each
@@ -21,38 +36,77 @@ let set_jobs j =
   Clof_exec.Exec.set_jobs
     (if j <= 0 then max 1 (Domain.recommended_domain_count ()) else j)
 
+(* open, write and close can each raise Sys_error (unwritable path,
+   full disk, I/O error); all must surface as a one-line failure, not a
+   backtrace *)
+let write_report out (r : Clof_harness.Report.t) =
+  let doc = Clof_harness.Report.to_string r in
+  match
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+      (fun () ->
+        output_string oc doc;
+        close_out oc)
+  with
+  | exception Sys_error msg -> Error msg
+  | () ->
+      Printf.printf "wrote %s (schema v%d)\n" out
+        Clof_harness.Report.schema_version;
+      Ok ()
+
 let run_ids quick jobs list ids =
   if list then begin
     list_experiments ();
     `Ok ()
   end
   else begin
-  set_jobs jobs;
-  Clof_harness.Experiments.set_quick quick;
-  let ppf = Format.std_formatter in
-  match ids with
-  | [] ->
-      Clof_harness.Experiments.run_all ppf;
-      `Ok ()
-  | ids -> (
-      (* validate every id up front: a typo at the end of the list must
-         not surface only after the experiments before it already ran *)
-      match
-        List.filter
-          (fun id -> not (List.mem_assoc id Clof_harness.Experiments.ids))
-          ids
-      with
-      | _ :: _ as unknown ->
-          `Error
-            ( false,
-              Printf.sprintf "unknown experiment(s): %s (try 'list')"
-                (String.concat ", " unknown) )
-      | [] ->
-          List.iter
-            (fun id -> ignore (Clof_harness.Experiments.run ppf id))
-            ids;
-          `Ok ())
+    set_jobs jobs;
+    Clof_harness.Experiments.set_quick quick;
+    let ppf = Format.std_formatter in
+    match ids with
+    | [] ->
+        Clof_harness.Experiments.run_all ppf;
+        `Ok ()
+    | ids -> (
+        (* validate every id up front: a typo at the end of the list must
+           not surface only after the experiments before it already ran *)
+        match
+          List.filter
+            (fun id ->
+              not (List.mem_assoc id Clof_harness.Experiments.ids))
+            ids
+        with
+        | _ :: _ as unknown ->
+            `Error
+              ( false,
+                Printf.sprintf "unknown experiment(s): %s (try 'list')"
+                  (String.concat ", " unknown) )
+        | [] ->
+            List.iter
+              (fun id -> ignore (Clof_harness.Experiments.run ppf id))
+              ids;
+            `Ok ())
   end
+
+(* The canonical gate run for a registry entry: run, render, archive
+   the report (also on a gate failure, so CI keeps the evidence), then
+   fail on the gate verdicts. *)
+let registry_gate (e : Registry.entry) quick jobs out =
+  set_jobs jobs;
+  match e.Registry.run ~quick Format.std_formatter with
+  | Error msg -> `Error (false, msg)
+  | Ok (r, gate) -> (
+      match write_report out r with
+      | Error msg -> `Error (false, msg)
+      | Ok () -> (
+          match gate with
+          | [] -> `Ok ()
+          | errs ->
+              `Error
+                ( false,
+                  Printf.sprintf "%s gate: %s" e.Registry.id
+                    (String.concat "; " errs) )))
 
 let report quick jobs out ids =
   set_jobs jobs;
@@ -62,23 +116,9 @@ let report quick jobs out ids =
   match Clof_harness.Report.run ~quick ids with
   | Error msg -> `Error (false, msg)
   | Ok r -> (
-      let doc = Clof_harness.Report.to_string r in
-      (* open, write and close can each raise Sys_error (unwritable
-         path, full disk, I/O error); all must surface as a one-line
-         failure, not a backtrace *)
-      match
-        let oc = open_out out in
-        Fun.protect
-          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
-          (fun () ->
-            output_string oc doc;
-            close_out oc)
-      with
-      | exception Sys_error msg -> `Error (false, msg)
-      | () ->
-          Printf.printf "wrote %s (%d experiment(s), schema v%d)\n" out
-            (List.length r.Clof_harness.Report.experiments)
-            Clof_harness.Report.schema_version;
+      match write_report out r with
+      | Error msg -> `Error (false, msg)
+      | Ok () ->
           (match r.Clof_harness.Report.meta with
           | None -> ()
           | Some m ->
@@ -89,29 +129,6 @@ let report quick jobs out ids =
                 m.Clof_harness.Report.busy_s
                 m.Clof_harness.Report.speedup);
           `Ok ())
-
-let sim quick jobs out =
-  set_jobs jobs;
-  let samples = Clof_harness.Simbench.run ~quick () in
-  Clof_harness.Simbench.pp Format.std_formatter samples;
-  Format.pp_print_flush Format.std_formatter ();
-  let doc =
-    Clof_harness.Report.to_string
-      (Clof_harness.Simbench.to_report samples)
-  in
-  match
-    let oc = open_out out in
-    Fun.protect
-      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
-      (fun () ->
-        output_string oc doc;
-        close_out oc)
-  with
-  | exception Sys_error msg -> `Error (false, msg)
-  | () ->
-      Printf.printf "wrote %s (schema v%d)\n" out
-        Clof_harness.Report.schema_version;
-      `Ok ()
 
 (* One-command repro of a CI differential failure: the seed fully
    determines the random program, so `clof_bench verify --seed N
@@ -161,22 +178,11 @@ let verify_suite quick naive memmode out =
   in
   Clof_harness.Verifybench.pp Format.std_formatter outcomes;
   Format.pp_print_flush Format.std_formatter ();
-  let doc =
-    Clof_harness.Report.to_string
-      (Clof_harness.Verifybench.to_report ~quick outcomes)
-  in
   match
-    let oc = open_out out in
-    Fun.protect
-      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
-      (fun () ->
-        output_string oc doc;
-        close_out oc)
+    write_report out (Clof_harness.Verifybench.to_report ~quick outcomes)
   with
-  | exception Sys_error msg -> `Error (false, msg)
-  | () -> (
-      Printf.printf "wrote %s (schema v%d)\n" out
-        Clof_harness.Report.schema_version;
+  | Error msg -> `Error (false, msg)
+  | Ok () -> (
       (* gate on verdicts only: statistics are trajectory data *)
       match Clof_harness.Verifybench.gate outcomes with
       | [] -> `Ok ()
@@ -208,89 +214,14 @@ let xval quick jobs out min_corr =
   | x -> (
       Clof_harness.Xval.pp Format.std_formatter x;
       Format.pp_print_flush Format.std_formatter ();
-      let doc =
-        Clof_harness.Report.to_string (Clof_harness.Xval.to_report ~quick x)
-      in
-      match
-        let oc = open_out out in
-        Fun.protect
-          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
-          (fun () ->
-            output_string oc doc;
-            close_out oc)
-      with
-      | exception Sys_error msg -> `Error (false, msg)
-      | () -> (
-          Printf.printf "wrote %s (schema v%d)\n" out
-            Clof_harness.Report.schema_version;
+      match write_report out (Clof_harness.Xval.to_report ~quick x) with
+      | Error msg -> `Error (false, msg)
+      | Ok () -> (
           (* gate on the rank correlation only: absolute native
              throughput is wall clock on whatever machine this is *)
           match Clof_harness.Xval.gate ?min_corr x with
           | [] -> `Ok ()
-          | bad ->
-              `Error
-                (false, "xval gate: " ^ String.concat "; " bad)))
-
-let faults_gate quick jobs out =
-  set_jobs jobs;
-  Clof_harness.Experiments.set_quick quick;
-  ignore (Clof_harness.Experiments.run Format.std_formatter "faults");
-  let rows = Clof_harness.Experiments.fault_matrix () in
-  let doc =
-    Clof_harness.Report.to_string
-      (Clof_harness.Faultbench.to_report ~quick rows)
-  in
-  match
-    let oc = open_out out in
-    Fun.protect
-      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
-      (fun () ->
-        output_string oc doc;
-        close_out oc)
-  with
-  | exception Sys_error msg -> `Error (false, msg)
-  | () -> (
-      Printf.printf "wrote %s (schema v%d)\n" out
-        Clof_harness.Report.schema_version;
-      match Clof_harness.Experiments.fault_gate rows with
-      | [] -> `Ok ()
-      | bad ->
-          `Error
-            ( false,
-              Printf.sprintf "fault gate: %s"
-                (String.concat "; "
-                   (List.map
-                      (fun v ->
-                        Printf.sprintf "%s [%s]: %s"
-                          v.Clof_harness.Experiments.fv_lock
-                          v.Clof_harness.Experiments.fv_fault
-                          v.Clof_harness.Experiments.fv_what)
-                      bad)) ))
-
-let adapt_gate quick jobs out =
-  set_jobs jobs;
-  let t = Clof_harness.Adaptbench.run ~quick () in
-  Clof_harness.Adaptbench.pp Format.std_formatter t;
-  Format.pp_print_flush Format.std_formatter ();
-  let doc =
-    Clof_harness.Report.to_string
-      (Clof_harness.Adaptbench.to_report ~quick t)
-  in
-  match
-    let oc = open_out out in
-    Fun.protect
-      ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
-      (fun () ->
-        output_string oc doc;
-        close_out oc)
-  with
-  | exception Sys_error msg -> `Error (false, msg)
-  | () -> (
-      Printf.printf "wrote %s (schema v%d)\n" out
-        Clof_harness.Report.schema_version;
-      match Clof_harness.Adaptbench.gate t with
-      | [] -> `Ok ()
-      | bad -> `Error (false, "adapt gate: " ^ String.concat "; " bad))
+          | bad -> `Error (false, "xval gate: " ^ String.concat "; " bad)))
 
 open Cmdliner
 
@@ -334,16 +265,25 @@ let list_cmd =
   let doc = "List the available experiments" in
   Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
 
+let out_arg (e : Registry.entry) =
+  Arg.(
+    value
+    & opt string e.Registry.default_out
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output report file.")
+
+(* Subcommands with no knobs beyond --quick/-j/--out come straight off
+   the registry; report/verify/xval add bespoke flags below but share
+   the registry's default artifact names and docs. *)
+let registry_cmd (e : Registry.entry) =
+  Cmd.v
+    (Cmd.info e.Registry.id ~doc:e.Registry.doc)
+    Term.(ret (const (registry_gate e) $ quick $ jobs_arg $ out_arg e))
+
 let report_cmd =
+  let e = Option.get (Registry.find "report") in
   let doc =
     "Benchmark the representative lock panel and write a JSON report \
      (throughput, fairness, per-level lock statistics per point)"
-  in
-  let out =
-    Arg.(
-      value
-      & opt string "bench_report.json"
-      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
   in
   let ids =
     Arg.(
@@ -354,27 +294,11 @@ let report_cmd =
              all of them when omitted.")
   in
   Cmd.v
-    (Cmd.info "report" ~doc)
-    Term.(ret (const report $ quick $ jobs_arg $ out $ ids))
-
-let sim_cmd =
-  let doc =
-    "Benchmark the discrete-event engine itself (events/sec and minor \
-     words/event on the hot loops) and write the samples as a JSON \
-     report. Wall-clock dependent: the output is archived as a \
-     trajectory, never diffed or gated."
-  in
-  let out =
-    Arg.(
-      value
-      & opt string "BENCH_sim.json"
-      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
-  in
-  Cmd.v
-    (Cmd.info "sim" ~doc)
-    Term.(ret (const sim $ quick $ jobs_arg $ out))
+    (Cmd.info e.Registry.id ~doc)
+    Term.(ret (const report $ quick $ jobs_arg $ out_arg e $ ids))
 
 let verify_cmd =
+  let e = Option.get (Registry.find "verify") in
   let doc =
     "Model-check the whole verification suite (base steps, abortable \
      steps, induction steps, the A4 exhibits, and the weak-memory \
@@ -422,17 +346,15 @@ let verify_cmd =
              program generated by seed $(docv) instead of the suite. \
              Exits nonzero if the strategies disagree.")
   in
-  let out =
-    Arg.(
-      value
-      & opt string "BENCH_verify.json"
-      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
-  in
   Cmd.v
-    (Cmd.info "verify" ~doc)
-    Term.(ret (const verify $ quick $ jobs_arg $ naive $ memmode $ seed $ out))
+    (Cmd.info e.Registry.id ~doc)
+    Term.(
+      ret
+        (const verify $ quick $ jobs_arg $ naive $ memmode $ seed
+       $ out_arg e))
 
 let xval_cmd =
+  let e = Option.get (Registry.find "xval") in
   let doc =
     "Cross-validate the simulator against real OCaml domains: run the \
      scripted lock panel on both backends on this machine (the \
@@ -440,12 +362,6 @@ let xval_cmd =
      the rank correlation between the two throughput orderings. \
      Absolute native numbers are wall clock and never gate; with \
      $(b,--min-corr) the overall Spearman coefficient does."
-  in
-  let out =
-    Arg.(
-      value
-      & opt string "BENCH_native.json"
-      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
   in
   let min_corr =
     Arg.(
@@ -458,56 +374,26 @@ let xval_cmd =
              $(docv) (the CI cross-validation gate).")
   in
   Cmd.v
-    (Cmd.info "xval" ~doc)
-    Term.(ret (const xval $ quick $ jobs_arg $ out $ min_corr))
-
-let faults_cmd =
-  let doc =
-    "Run the fault-injection matrix and fail if any fair lock wedges \
-     under a transient stall, any true-abort lock fails to recover \
-     from a holder crash, or a declared capability disagrees with \
-     observed behaviour (the CI robustness gate)"
-  in
-  let out =
-    Arg.(
-      value
-      & opt string "BENCH_faults.json"
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the recovery matrix as a schema-v1 report.")
-  in
-  Cmd.v
-    (Cmd.info "faults" ~doc)
-    Term.(ret (const faults_gate $ quick $ jobs_arg $ out))
-
-let adapt_cmd =
-  let doc =
-    "Run the contention-adaptive composition on the phase-shift \
-     workload and fail unless the adaptive lock tracks the best static \
-     composition in every phase while each static loses somewhere (the \
-     CI adaptivity gate)"
-  in
-  let out =
-    Arg.(
-      value
-      & opt string "BENCH_adaptive.json"
-      & info [ "o"; "out" ] ~docv:"FILE"
-          ~doc:"Write the per-phase matrix as a schema-v1 report.")
-  in
-  Cmd.v
-    (Cmd.info "adapt" ~doc)
-    Term.(ret (const adapt_gate $ quick $ jobs_arg $ out))
+    (Cmd.info e.Registry.id ~doc)
+    Term.(ret (const xval $ quick $ jobs_arg $ out_arg e $ min_corr))
 
 let main =
   let doc =
     "CLoF reproduction: compositional NUMA-aware locks on a simulated \
      multi-level NUMA machine"
   in
+  let bespoke = [ "report"; "verify"; "xval" ] in
+  let generic =
+    List.filter_map
+      (fun (e : Registry.entry) ->
+        if List.mem e.Registry.id bespoke then None
+        else Some (registry_cmd e))
+      Registry.all
+  in
   Cmd.group
-    ~default:Term.(ret (const run_ids $ quick $ jobs_arg $ list_flag $ ids_arg))
+    ~default:
+      Term.(ret (const run_ids $ quick $ jobs_arg $ list_flag $ ids_arg))
     (Cmd.info "clof_bench" ~doc ~version:"1.0.0")
-    [
-      run_cmd; list_cmd; report_cmd; sim_cmd; verify_cmd; xval_cmd;
-      faults_cmd; adapt_cmd;
-    ]
+    ([ run_cmd; list_cmd; report_cmd; verify_cmd; xval_cmd ] @ generic)
 
 let () = exit (Cmd.eval main)

@@ -207,21 +207,26 @@ let gate ?(slack = 0.10) ?(loss = 0.25) t =
     t.t_cells;
   List.rev !errors
 
-let mode_code = function
-  | "fastpath" -> 0
-  | "keep_local" -> 1
-  | "fair" -> 2
-  | _ -> -1
+let exp_id = "adapt"
+
+(* the two low phases share a thread count, so the points cannot join
+   the deterministic (lock, threads) regression key; the
+   within-slack-of-best gate already ran inside clof_bench adapt *)
+let join_kind = Report.Excluded_from_join
 
 let to_report ?(quick = false) t =
   let locks =
     List.sort_uniq compare (List.map (fun c -> c.c_lock) t.t_cells)
+  in
+  let phase_names =
+    String.concat "," (List.map (fun ph -> ph.ph_name) t.t_phases)
   in
   let series =
     List.map
       (fun lock ->
         {
           Report.lock;
+          meta = Some [ ("phases", Report.S phase_names) ];
           points =
             List.filter_map
               (fun ph ->
@@ -244,24 +249,23 @@ let to_report ?(quick = false) t =
   let controller =
     {
       Report.lock = "controller";
-      points =
-        List.mapi
-          (fun i ph ->
-            let c =
-              List.find
-                (fun c ->
-                  c.c_lock = adaptive_name && c.c_phase = ph.ph_name)
-                t.t_cells
-            in
-            {
-              Report.threads = i + 1;
-              throughput = 0.0;
-              total_ops = c.c_switches;
-              sim_ns = mode_code c.c_mode;
-              jain = 1.0;
-              stats = S.create ();
-            })
-          t.t_phases;
+      meta =
+        Some
+          (("phases", Report.S phase_names)
+          :: List.concat_map
+               (fun ph ->
+                 let c =
+                   List.find
+                     (fun c ->
+                       c.c_lock = adaptive_name && c.c_phase = ph.ph_name)
+                     t.t_cells
+                 in
+                 [
+                   (ph.ph_name ^ ".switches", Report.I c.c_switches);
+                   (ph.ph_name ^ ".mode", Report.S c.c_mode);
+                 ])
+               t.t_phases);
+      points = [];
     }
   in
   {
@@ -271,13 +275,54 @@ let to_report ?(quick = false) t =
     experiments =
       [
         {
-          Report.exp_id = "adapt";
+          Report.exp_id;
           platform = "x86";
           workload = "phase-shift";
           series = series @ [ controller ];
         };
       ];
   }
+
+(* Per-phase matrix readback for bench_check: printed for
+   trend-watching only — the within-slack-of-best gate already ran
+   inside clof_bench adapt. *)
+let decode ~label (r : Report.t) =
+  List.iter
+    (fun (e : Report.experiment) ->
+      if e.Report.exp_id = exp_id then begin
+        Printf.printf "bench_check: %s adaptive phases (%s, %s):\n" label
+          e.Report.platform e.Report.workload;
+        List.iter
+          (fun (s : Report.series) ->
+            let phases =
+              match Report.meta_str s "phases" with
+              | None | Some "" -> []
+              | Some names -> String.split_on_char ',' names
+            in
+            if s.Report.lock = "controller" then
+              List.iter
+                (fun ph ->
+                  match
+                    ( Report.meta_int s (ph ^ ".switches"),
+                      Report.meta_str s (ph ^ ".mode") )
+                  with
+                  | Some switches, Some mode ->
+                      Printf.printf
+                        "  controller phase %s: %d switch(es), settled in %s\n"
+                        ph switches mode
+                  | _ -> ())
+                phases
+            else
+              Printf.printf "  %-12s %s\n" s.Report.lock
+                (String.concat "  "
+                   (List.map
+                      (fun (p : Report.point) ->
+                        Printf.sprintf "%3dT %7.3f ops/us" p.Report.threads
+                          p.Report.throughput)
+                      s.Report.points)))
+          e.Report.series
+      end)
+    r.experiments
 
 let pp ppf t =
   Format.pp_print_string ppf

@@ -5,11 +5,13 @@
 
     Results ship through the Report schema as exp_id ["adapt"]
     (BENCH_adaptive.json): one series per lock with one point per
-    phase ([threads] = the phase's thread count), plus a "controller"
-    series slot-encoding per-phase mode-switch counts and the settled
-    mode. The two low phases share a thread count, so bench_check
-    excludes "adapt" from its deterministic (lock, threads) regression
-    join and decodes the table informally instead. *)
+    phase ([threads] = the phase's thread count) and a ["phases"] meta
+    key naming the phase order, plus a pointless "controller" series
+    whose typed [meta] block carries ["<phase>.switches"] and
+    ["<phase>.mode"] per phase. The two low phases share a thread
+    count, so bench_check excludes "adapt" from its deterministic
+    (lock, threads) regression join and decodes the table informally
+    instead. *)
 
 type phase = { ph_name : string; ph_threads : int; ph_params : Clof_workloads.Workload.params }
 
@@ -41,5 +43,18 @@ val gate : ?slack:float -> ?loss:float -> t -> string list
     the best in at least one phase. Violations are returned as
     human-readable messages. *)
 
+val exp_id : string
+(** ["adapt"]. *)
+
+val join_kind : Report.join_kind
+(** {!Report.Excluded_from_join}: the two low phases share a thread
+    count, and the within-slack-of-best gate already ran inside
+    [clof_bench adapt]. *)
+
 val to_report : ?quick:bool -> t -> Report.t
+
+val decode : label:string -> Report.t -> unit
+(** Print the per-phase matrix and controller trajectory read back
+    from a report (the [bench_check] side of the channel). *)
+
 val pp : Format.formatter -> t -> unit

@@ -846,64 +846,98 @@ let discover ppf () =
 let xval_exp ppf () = Xval.pp ppf (Xval.run ~quick:!quick ())
 let adapt_exp ppf () = Adaptbench.pp ppf (Adaptbench.run ~quick:!quick ())
 
-let ids =
+(* The single source of truth for the textual experiments: id,
+   description, driver. [ids] and [run] derive from it, so an id
+   cannot exist in the index without a driver or vice versa. *)
+let drivers : (string * string * (Format.formatter -> unit)) list =
   [
-    ("table1", "aspect coverage of NUMA-aware locks (Table 1)");
-    ("fig1", "ping-pong heatmaps of both platforms (Figure 1)");
-    ("table2", "cohort speedups vs paper values (Table 2)");
-    ("fig2", "LevelDB x86: HMCS depths + CLoF<4> (Figure 2)");
-    ("fig3", "basic locks per cohort at max contention (Figure 3)");
-    ("fig4", "LevelDB Armv8: CLoF<4> vs SOTA (Figure 4)");
-    ("fig9a", "all 4-level CLoF locks, x86 (Figure 9a)");
-    ("fig9b", "all 4-level CLoF locks, Armv8 (Figure 9b)");
-    ("fig9c", "all 3-level CLoF locks, x86 (Figure 9c)");
-    ("fig9d", "all 3-level CLoF locks, Armv8 (Figure 9d)");
-    ("fig10", "LC-best CLoF vs SOTA, LevelDB+Kyoto, both platforms (Figure 10)");
-    ("verify", "model-checked base/induction steps + A4 exhibits (4.2)");
-    ("verify_scaling", "checker effort vs depth (3.3/4.2.3)");
-    ("fairness", "per-thread fairness, CLoF vs HMCS (5.2.3)");
-    ("ablate_h", "keep_local threshold sweep (ablation)");
-    ("ablate_levels", "hierarchy depth sweep (ablation)");
-    ("cohorts", "classic lock-cohorting compositions (2.3)");
-    ("locality", "cache-line transfer distances per lock (keep_local observed)");
-    ("stats", "per-level lock counters: handover locality, keep_local, latency");
-    ("fastpath", "TAS fast-path extension ablation (paper 6)");
-    ("adapt", "contention-adaptive composition on the phase-shift workload");
-    ("faults", "stall/crash injection matrix with recovery classification");
-    ("scripted", "2-level scripted sweep with HC/LC ranking (4.3)");
-    ("sim-throughput", "engine events/sec + allocs/event (wall clock)");
-    ("discover", "automated hierarchy inference (Figure 5)");
-    ("xval", "sim-vs-native rank correlation on this host (native domains)");
+    ( "table1",
+      "aspect coverage of NUMA-aware locks (Table 1)",
+      fun ppf -> table1 ppf () );
+    ( "fig1",
+      "ping-pong heatmaps of both platforms (Figure 1)",
+      fun ppf -> fig1 ppf () );
+    ( "table2",
+      "cohort speedups vs paper values (Table 2)",
+      fun ppf -> table2 ppf () );
+    ( "fig2",
+      "LevelDB x86: HMCS depths + CLoF<4> (Figure 2)",
+      fun ppf -> fig2 ppf () );
+    ( "fig3",
+      "basic locks per cohort at max contention (Figure 3)",
+      fun ppf -> fig3 ppf () );
+    ( "fig4",
+      "LevelDB Armv8: CLoF<4> vs SOTA (Figure 4)",
+      fun ppf -> fig4 ppf () );
+    ( "fig9a",
+      "all 4-level CLoF locks, x86 (Figure 9a)",
+      fun ppf -> fig9 ppf Platform.x86 4 "a" );
+    ( "fig9b",
+      "all 4-level CLoF locks, Armv8 (Figure 9b)",
+      fun ppf -> fig9 ppf Platform.armv8 4 "b" );
+    ( "fig9c",
+      "all 3-level CLoF locks, x86 (Figure 9c)",
+      fun ppf -> fig9 ppf Platform.x86 3 "c" );
+    ( "fig9d",
+      "all 3-level CLoF locks, Armv8 (Figure 9d)",
+      fun ppf -> fig9 ppf Platform.armv8 3 "d" );
+    ( "fig10",
+      "LC-best CLoF vs SOTA, LevelDB+Kyoto, both platforms (Figure 10)",
+      fun ppf -> fig10 ppf () );
+    ( "verify",
+      "model-checked base/induction steps + A4 exhibits (4.2)",
+      fun ppf -> verify ppf () );
+    ( "verify_scaling",
+      "checker effort vs depth (3.3/4.2.3)",
+      fun ppf -> verify_scaling ppf () );
+    ( "fairness",
+      "per-thread fairness, CLoF vs HMCS (5.2.3)",
+      fun ppf -> fairness ppf () );
+    ( "ablate_h",
+      "keep_local threshold sweep (ablation)",
+      fun ppf -> ablate_h ppf () );
+    ( "ablate_levels",
+      "hierarchy depth sweep (ablation)",
+      fun ppf -> ablate_levels ppf () );
+    ( "cohorts",
+      "classic lock-cohorting compositions (2.3)",
+      fun ppf -> cohorts ppf () );
+    ( "locality",
+      "cache-line transfer distances per lock (keep_local observed)",
+      fun ppf -> locality ppf () );
+    ( "stats",
+      "per-level lock counters: handover locality, keep_local, latency",
+      fun ppf -> stats_exp ppf () );
+    ( "fastpath",
+      "TAS fast-path extension ablation (paper 6)",
+      fun ppf -> fastpath ppf () );
+    ( "adapt",
+      "contention-adaptive composition on the phase-shift workload",
+      fun ppf -> adapt_exp ppf () );
+    ( "faults",
+      "stall/crash injection matrix with recovery classification",
+      fun ppf -> faults ppf () );
+    ( "scripted",
+      "2-level scripted sweep with HC/LC ranking (4.3)",
+      fun ppf -> scripted_exp ppf () );
+    ( "sim-throughput",
+      "engine events/sec + allocs/event (wall clock)",
+      fun ppf -> sim_throughput ppf () );
+    ( "discover",
+      "automated hierarchy inference (Figure 5)",
+      fun ppf -> discover ppf () );
+    ( "xval",
+      "sim-vs-native rank correlation on this host (native domains)",
+      fun ppf -> xval_exp ppf () );
   ]
 
-let run ppf = function
-  | "table1" -> table1 ppf (); true
-  | "fig1" -> fig1 ppf (); true
-  | "table2" -> table2 ppf (); true
-  | "fig2" -> fig2 ppf (); true
-  | "fig3" -> fig3 ppf (); true
-  | "fig4" -> fig4 ppf (); true
-  | "fig9a" -> fig9 ppf Platform.x86 4 "a"; true
-  | "fig9b" -> fig9 ppf Platform.armv8 4 "b"; true
-  | "fig9c" -> fig9 ppf Platform.x86 3 "c"; true
-  | "fig9d" -> fig9 ppf Platform.armv8 3 "d"; true
-  | "fig10" -> fig10 ppf (); true
-  | "verify" -> verify ppf (); true
-  | "verify_scaling" -> verify_scaling ppf (); true
-  | "fairness" -> fairness ppf (); true
-  | "ablate_h" -> ablate_h ppf (); true
-  | "ablate_levels" -> ablate_levels ppf (); true
-  | "cohorts" -> cohorts ppf (); true
-  | "locality" -> locality ppf (); true
-  | "stats" -> stats_exp ppf (); true
-  | "fastpath" -> fastpath ppf (); true
-  | "adapt" -> adapt_exp ppf (); true
-  | "faults" -> faults ppf (); true
-  | "scripted" -> scripted_exp ppf (); true
-  | "sim-throughput" -> sim_throughput ppf (); true
-  | "discover" -> discover ppf (); true
-  | "xval" -> xval_exp ppf (); true
-  | _ -> false
+let ids = List.map (fun (id, doc, _) -> (id, doc)) drivers
 
-let run_all ppf =
-  List.iter (fun (id, _) -> ignore (run ppf id)) ids
+let run ppf id =
+  match List.find_opt (fun (id', _, _) -> id' = id) drivers with
+  | Some (_, _, f) ->
+      f ppf;
+      true
+  | None -> false
+
+let run_all ppf = List.iter (fun (_, _, f) -> f ppf) drivers

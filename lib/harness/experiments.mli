@@ -73,6 +73,11 @@ val fault_gate : fault_row list -> fault_violation list
     somewhere in the fault columns — declared capability must agree
     with observed behaviour. Empty means the gate passes. *)
 
+val drivers : (string * string * (Format.formatter -> unit)) list
+(** [(id, description, driver)] of every textual experiment, in
+    DESIGN.md order — the single dispatch table {!ids}, {!run} and
+    clof_bench's validation derive from. *)
+
 val ids : (string * string) list
 (** [(id, description)] of every experiment, in DESIGN.md order. *)
 

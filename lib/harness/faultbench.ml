@@ -2,16 +2,11 @@
    (lock x fault) recovery matrix through the Report schema as
    BENCH_faults.json, next to BENCH_verify.json.
 
-   Each lock becomes one series named "faults/<lock>". The Report
-   point shape was built for lock sweeps, so the matrix rides in fixed
-   [threads] slots (decoded by bench_check):
-
-     slot 0: capability flags from the lock's Runtime metadata —
-             total_ops bit 0 = fair, bit 1 = true-abort
-     slot k (k >= 1, the k-th fault scenario in matrix order):
-             total_ops = timed-out attempts, sim_ns = class code
-             (0 recovered / 1 degraded / 2 wedged), throughput =
-             watchdog reclaims, jain = 1.0 unless wedged
+   Each lock becomes one series named "faults/<lock>" with no points:
+   the matrix travels in the series' typed [meta] block (schema v2) —
+   the lock's declared capabilities ("fair", "abort"), the cell order
+   ("cells", comma-separated fault names), and per cell
+   "<fault>.class" / "<fault>.timeouts" / "<fault>.reclaims".
 
    The gate is separate from the report: CI fails on
    Experiments.fault_gate violations (clof_bench faults), never on
@@ -19,40 +14,45 @@
 
 module Ex = Experiments
 
-let class_code = function
-  | Ex.Recovered -> 0
-  | Ex.Degraded -> 1
-  | Ex.Wedged -> 2
+let exp_id = "faults"
+
+(* recovery classes are pass/fail trajectory data under a gate that
+   already ran inside clof_bench faults *)
+let join_kind = Report.Excluded_from_join
+
+let class_name = function
+  | Ex.Recovered -> "recovered"
+  | Ex.Degraded -> "degraded"
+  | Ex.Wedged -> "wedged"
 
 let to_report ?(quick = false) rows =
-  let point ~slot ~ops ~ns ~tp ~jain =
-    {
-      Report.threads = slot;
-      throughput = tp;
-      total_ops = ops;
-      sim_ns = ns;
-      jain;
-      stats = Clof_stats.Stats.create ();
-    }
-  in
   let series =
     List.map
       (fun row ->
-        let flags =
-          (if row.Ex.fr_fair then 1 else 0)
-          lor if row.Ex.fr_abortable then 2 else 0
+        let cells =
+          List.concat_map
+            (fun c ->
+              [
+                (c.Ex.fc_fault ^ ".class", Report.S (class_name c.Ex.fc_class));
+                (c.Ex.fc_fault ^ ".timeouts", Report.I c.Ex.fc_timeouts);
+                (c.Ex.fc_fault ^ ".reclaims", Report.I c.Ex.fc_recoveries);
+              ])
+            row.Ex.fr_cells
         in
         {
           Report.lock = "faults/" ^ row.Ex.fr_lock;
-          points =
-            point ~slot:0 ~ops:flags ~ns:0 ~tp:0.0 ~jain:1.0
-            :: List.mapi
-                 (fun i c ->
-                   point ~slot:(i + 1) ~ops:c.Ex.fc_timeouts
-                     ~ns:(class_code c.Ex.fc_class)
-                     ~tp:(float_of_int c.Ex.fc_recoveries)
-                     ~jain:(if c.Ex.fc_class = Ex.Wedged then 0.0 else 1.0))
-                 row.Ex.fr_cells;
+          meta =
+            Some
+              ([
+                 ("fair", Report.B row.Ex.fr_fair);
+                 ("abort", Report.B row.Ex.fr_abortable);
+                 ( "cells",
+                   Report.S
+                     (String.concat ","
+                        (List.map (fun c -> c.Ex.fc_fault) row.Ex.fr_cells)) );
+               ]
+              @ cells);
+          points = [];
         })
       rows
   in
@@ -67,6 +67,39 @@ let to_report ?(quick = false) rows =
     Report.version = Report.schema_version;
     quick;
     meta = None;
-    experiments =
-      [ { Report.exp_id = "faults"; platform = "x86"; workload; series } ];
+    experiments = [ { Report.exp_id; platform = "x86"; workload; series } ];
   }
+
+(* Fault-matrix readback for bench_check: printed for trend-watching
+   only — the recovery gate already ran inside clof_bench faults. *)
+let decode ~label (r : Report.t) =
+  List.iter
+    (fun (e : Report.experiment) ->
+      if e.Report.exp_id = exp_id then begin
+        Printf.printf "bench_check: %s fault matrix (%s):\n" label
+          e.Report.workload;
+        List.iter
+          (fun (s : Report.series) ->
+            let flag k = Option.value ~default:false (Report.meta_bool s k) in
+            let cells =
+              match Report.meta_str s "cells" with
+              | None | Some "" -> []
+              | Some names ->
+                  List.map
+                    (fun f ->
+                      Printf.sprintf "%s(%d,+r%d)"
+                        (Option.value ~default:"?"
+                           (Report.meta_str s (f ^ ".class")))
+                        (Option.value ~default:0
+                           (Report.meta_int s (f ^ ".timeouts")))
+                        (Option.value ~default:0
+                           (Report.meta_int s (f ^ ".reclaims"))))
+                    (String.split_on_char ',' names)
+            in
+            Printf.printf "  %-20s%s%s %s\n" s.Report.lock
+              (if flag "fair" then " [fair]" else "")
+              (if flag "abort" then " [abort]" else "")
+              (String.concat " " cells))
+          e.Report.series
+      end)
+    r.experiments

@@ -2,13 +2,23 @@
     written by [clof_bench faults --out] and uploaded next to
     BENCH_verify.json in CI).
 
-    Slot encoding, decoded by [bench_check]: one series per lock named
-    ["faults/<lock>"]; slot 0 packs the capability flags read off the
-    lock's Runtime metadata (total_ops bit 0 = fair, bit 1 =
-    true-abort); slot [k >= 1] is the [k]-th fault scenario in matrix
-    order with total_ops = timed-out attempts, sim_ns = the class code
-    (0 recovered / 1 degraded / 2 wedged), throughput = watchdog
-    reclaims, and jain = 1.0 unless the cell wedged. The CI gate runs
-    on {!Experiments.fault_gate}, never on these statistics. *)
+    One series per lock named ["faults/<lock>"], with no points: the
+    matrix travels in the series' typed [meta] block (schema v2) — the
+    declared capabilities (["fair"], ["abort"]), the cell order
+    (["cells"], comma-separated fault names), and per cell
+    ["<fault>.class"] (recovered/degraded/wedged),
+    ["<fault>.timeouts"] and ["<fault>.reclaims"]. The CI gate runs on
+    {!Experiments.fault_gate}, never on these statistics. *)
+
+val exp_id : string
+(** ["faults"]. *)
+
+val join_kind : Report.join_kind
+(** {!Report.Excluded_from_join}: trajectory data under a gate that
+    already ran inside [clof_bench faults]. *)
 
 val to_report : ?quick:bool -> Experiments.fault_row list -> Report.t
+
+val decode : label:string -> Report.t -> unit
+(** Print the fault matrix read back from a report (the [bench_check]
+    side of the channel). *)

@@ -11,7 +11,12 @@ module RT = Clof_core.Runtime
 module S = Clof_stats.Stats
 module J = Clof_stats.Json
 
-let schema_version = 1
+(* v2 added the optional typed [meta] field on series (and the
+   [join_kind] classification consumed by the experiment registry);
+   v1 documents still decode, with [meta = None] on every series. *)
+let schema_version = 2
+
+let min_schema_version = 1
 
 type point = {
   threads : int;
@@ -22,7 +27,24 @@ type point = {
   stats : S.recorder;
 }
 
-type series = { lock : string; points : point list }
+(* Typed per-series metadata: the schema-level replacement for the
+   per-experiment "slot encoding" conventions (capability flags hidden
+   in a fake point's [total_ops], phase indices in [threads], ...)
+   that v1 decoders had to know about positionally. Keys are
+   experiment-defined; values carry their own type. *)
+type attr = I of int | F of float | S of string | B of bool
+type series_meta = (string * attr) list
+type series = { lock : string; meta : series_meta option; points : point list }
+
+(* How an experiment's series participate in bench_check's cross-run
+   regression join. [Gated_series]: points are real (threads,
+   throughput, jain) measurements and join the baseline-vs-current
+   comparison. [Report_only]: points are well-formed measurements but
+   gate-meaningless across runs (e.g. wall clock on a shared CI
+   runner). [Excluded_from_join]: points reuse the schema for
+   structure only (phase matrices, exploration counters) and must
+   never be keyed across runs. *)
+type join_kind = Gated_series | Report_only | Excluded_from_join
 
 type experiment = {
   exp_id : string;
@@ -43,6 +65,25 @@ type t = {
   meta : meta option;
   experiments : experiment list;
 }
+
+(* ---------- meta accessors (for decoders) ---------- *)
+
+let meta_find (s : series) key = Option.bind s.meta (List.assoc_opt key)
+
+let meta_int s key =
+  match meta_find s key with Some (I i) -> Some i | _ -> None
+
+let meta_float s key =
+  match meta_find s key with
+  | Some (F f) -> Some f
+  | Some (I i) -> Some (float_of_int i)
+  | _ -> None
+
+let meta_str s key =
+  match meta_find s key with Some (S v) -> Some v | _ -> None
+
+let meta_bool s key =
+  match meta_find s key with Some (B b) -> Some b | _ -> None
 
 let jain counts =
   let xs = Array.map float_of_int counts in
@@ -119,7 +160,7 @@ let build_experiment ~quick id p =
   in
   let series =
     List.map2
-      (fun spec points -> { lock = spec.RT.s_name; points })
+      (fun spec points -> { lock = spec.RT.s_name; meta = None; points })
       specs rows
   in
   {
@@ -174,12 +215,20 @@ let point_to_json p =
       ("stats", S.to_json p.stats);
     ]
 
+let attr_to_json = function
+  | I i -> J.Int i
+  | F f -> J.Float f
+  | S s -> J.Str s
+  | B b -> J.Bool b
+
 let series_to_json s =
   J.Obj
-    [
-      ("lock", J.Str s.lock);
-      ("points", J.Arr (List.map point_to_json s.points));
-    ]
+    ([ ("lock", J.Str s.lock) ]
+    @ (match s.meta with
+      | None -> []
+      | Some kvs ->
+          [ ("meta", J.Obj (List.map (fun (k, v) -> (k, attr_to_json v)) kvs)) ])
+    @ [ ("points", J.Arr (List.map point_to_json s.points)) ])
 
 let experiment_to_json e =
   J.Obj
@@ -234,12 +283,39 @@ let rec map_result f = function
       let* ys = map_result f rest in
       Ok (y :: ys)
 
+(* [I] vs [F] survives the round-trip because the printer always emits
+   a decimal point for [Float] (even integral ones) and the parser
+   types numbers by the presence of one. *)
+let attr_of_json ~key = function
+  | J.Int i -> Ok (I i)
+  | J.Float f -> Ok (F f)
+  | J.Str s -> Ok (S s)
+  | J.Bool b -> Ok (B b)
+  | _ -> Error (Printf.sprintf "series meta %S: expected a scalar" key)
+
+let series_meta_of_json j =
+  match j with
+  | J.Obj kvs ->
+      map_result
+        (fun (k, v) ->
+          let* a = attr_of_json ~key:k v in
+          Ok (k, a))
+        kvs
+  | _ -> Error "series meta: expected an object"
+
 let series_of_json j =
   let ctx = "series" in
   let* lock = field "lock" J.to_str ctx j in
+  let* meta =
+    match J.member "meta" j with
+    | None -> Ok None
+    | Some m ->
+        let* kvs = series_meta_of_json m in
+        Ok (Some kvs)
+  in
   let* pts = field "points" J.to_list ctx j in
   let* points = map_result point_of_json pts in
-  Ok { lock; points }
+  Ok { lock; meta; points }
 
 let experiment_of_json j =
   let ctx = "experiment" in
@@ -263,10 +339,10 @@ let meta_of_json j =
 let of_json j =
   let ctx = "report" in
   let* version = field "schema_version" J.to_int ctx j in
-  if version <> schema_version then
+  if version < min_schema_version || version > schema_version then
     Error
-      (Printf.sprintf "unsupported schema_version %d (expected %d)" version
-         schema_version)
+      (Printf.sprintf "unsupported schema_version %d (expected %d..%d)" version
+         min_schema_version schema_version)
   else
     let* quick = field "quick" J.to_bool ctx j in
     let* meta =

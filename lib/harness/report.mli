@@ -7,8 +7,12 @@
     for throughput regressions or fairness losses. *)
 
 val schema_version : int
-(** Bumped on any incompatible change to the JSON shape; {!of_json}
-    rejects other versions. *)
+(** Current write version (2: adds the optional typed [meta] field on
+    series). Bumped on any change to the JSON shape. *)
+
+val min_schema_version : int
+(** Oldest version {!of_json} still decodes (1: series without [meta];
+    such documents decode with [meta = None]). *)
 
 type point = {
   threads : int;
@@ -20,7 +24,26 @@ type point = {
       (** merged observability counters for the run *)
 }
 
-type series = { lock : string; points : point list }
+type attr = I of int | F of float | S of string | B of bool
+(** A typed scalar in a series' metadata. The JSON mapping is direct
+    (int/float/string/bool); [I] vs [F] survives the round-trip. *)
+
+type series_meta = (string * attr) list
+(** Experiment-defined key/value pairs describing a series as a whole
+    — capability flags, phase labels, exploration counters, summary
+    coefficients. This is the typed replacement for the v1 "slot
+    encoding" conventions that hid such facts in fake points. *)
+
+type series = { lock : string; meta : series_meta option; points : point list }
+
+type join_kind = Gated_series | Report_only | Excluded_from_join
+(** How an experiment's series participate in [bench_check]'s
+    cross-run regression join: [Gated_series] points are real
+    measurements and join the comparison; [Report_only] points are
+    well-formed but gate-meaningless across runs (wall clock on shared
+    runners); [Excluded_from_join] series reuse the schema for
+    structure only and must never be keyed across runs. The experiment
+    registry ({!Registry}) assigns one per experiment. *)
 
 type experiment = {
   exp_id : string;  (** one of {!ids} *)
@@ -49,6 +72,16 @@ type t = {
   meta : meta option;  (** [None] in reports predating the field *)
   experiments : experiment list;
 }
+
+val meta_find : series -> string -> attr option
+val meta_int : series -> string -> int option
+val meta_float : series -> string -> float option
+(** [meta_float] also accepts an [I] attr (numeric widening). *)
+
+val meta_str : series -> string -> string option
+val meta_bool : series -> string -> bool option
+(** Typed lookups into a series' metadata; [None] when the series has
+    no meta block, the key is absent, or the value has another type. *)
 
 val jain : int array -> float
 (** Jain fairness index: 1.0 = perfectly fair, 1/n = one thread owns

@@ -20,9 +20,21 @@ val run : ?quick:bool -> unit -> sample list
 (** Run both loops ([quick] shrinks the repetition count). Must not be
     called from inside a simulation. *)
 
+val exp_id : string
+(** ["sim-throughput"]. *)
+
+val join_kind : Report.join_kind
+(** {!Report.Report_only}: genuine measurements, but of wall clock on
+    whatever machine produced the report — archived and printed, never
+    joined across runs. *)
+
 val to_report : sample list -> Report.t
 (** One experiment [sim-throughput] with a series per sample
     ([throughput] = events/µs) plus a ["<label>/alloc"] series
     ([throughput] = minor words/event). *)
+
+val decode : label:string -> Report.t -> unit
+(** Print the engine-speed trajectory read back from a report (the
+    [bench_check] side of the channel). *)
 
 val pp : Format.formatter -> sample list -> unit

@@ -3,20 +3,10 @@
    exploration statistics through the Report schema as
    BENCH_verify.json.
 
-   Each scenario becomes one series named "<group>/<scenario>". The
-   Report point shape was built for lock sweeps, so the checker's
-   counters ride in fixed [threads] slots (decoded by bench_check):
-
-     slot 1: total_ops = executions, sim_ns = steps,
-             throughput = executions per wall second,
-             jain = 1.0 when the outcome matched expectation else 0.0
-     slot 2: total_ops = pruned executions
-     slot 3: total_ops = sleep-set hits
-     slot 4: total_ops = race-driven backtrack points
-     slot 5: total_ops = complete (quiescent) executions,
-             jain = 1.0 when the exploration was exhaustive (frontier
-             drained within the execution budget) else 0.0 — a
-             truncated exploration can never ship jain 1.0 here
+   Each scenario becomes one series named "<group>/<scenario>" with no
+   points: the checker's counters travel in the series' typed [meta]
+   block (schema v2) — executions, steps, executions-per-wall-second,
+   pruned/sleep/races/complete, and the ok / exhaustive verdicts.
 
    The verdict gate is separate from the report: CI fails on any
    outcome whose verdict does not match the scenario's expectation
@@ -44,21 +34,17 @@ let gate outcomes = List.filter (fun o -> not o.S.o_ok) outcomes
 
 let strategy_name = function C.Naive -> "naive" | C.Dpor -> "dpor"
 
+let exp_id = "verify"
+
+(* checker counters depend on schedule budgets and wall clock; the
+   verdicts are gated by clof_bench verify itself *)
+let join_kind = Report.Excluded_from_join
+
 let to_report ?(quick = false) outcomes =
   let series =
     List.map
       (fun o ->
         let r = o.S.o_report in
-        let point ~slot ~ops ~ns ~tp ~jain =
-          {
-            Report.threads = slot;
-            throughput = tp;
-            total_ops = ops;
-            sim_ns = ns;
-            jain;
-            stats = Clof_stats.Stats.create ();
-          }
-        in
         let per_s =
           float_of_int r.C.executions /. Float.max r.C.seconds 1e-9
         in
@@ -70,16 +56,20 @@ let to_report ?(quick = false) outcomes =
             (let name = o.S.o_entry.S.e_named.S.sname in
              if String.contains name '/' then name
              else S.group_tag o.S.o_entry.S.e_group ^ "/" ^ name);
-          points =
-            [
-              point ~slot:1 ~ops:r.C.executions ~ns:r.C.steps ~tp:per_s
-                ~jain:(if o.S.o_ok then 1.0 else 0.0);
-              point ~slot:2 ~ops:r.C.pruned ~ns:0 ~tp:0.0 ~jain:1.0;
-              point ~slot:3 ~ops:r.C.sleep_hits ~ns:0 ~tp:0.0 ~jain:1.0;
-              point ~slot:4 ~ops:r.C.races ~ns:0 ~tp:0.0 ~jain:1.0;
-              point ~slot:5 ~ops:r.C.complete ~ns:0 ~tp:0.0
-                ~jain:(if r.C.exhaustive then 1.0 else 0.0);
-            ];
+          meta =
+            Some
+              [
+                ("executions", Report.I r.C.executions);
+                ("steps", Report.I r.C.steps);
+                ("per_s", Report.F per_s);
+                ("ok", Report.B o.S.o_ok);
+                ("pruned", Report.I r.C.pruned);
+                ("sleep", Report.I r.C.sleep_hits);
+                ("races", Report.I r.C.races);
+                ("complete", Report.I r.C.complete);
+                ("exhaustive", Report.B r.C.exhaustive);
+              ];
+          points = [];
         })
       outcomes
   in
@@ -92,9 +82,33 @@ let to_report ?(quick = false) outcomes =
     Report.version = Report.schema_version;
     quick;
     meta = None;
-    experiments =
-      [ { Report.exp_id = "verify"; platform = "model"; workload; series } ];
+    experiments = [ { Report.exp_id; platform = "model"; workload; series } ];
   }
+
+(* Exploration statistics readback for bench_check: printed for
+   trend-watching only — the counters are budget- and wall-clock-
+   dependent, and the verdicts were gated when the report was
+   produced. *)
+let decode ~label (r : Report.t) =
+  List.iter
+    (fun (e : Report.experiment) ->
+      if e.Report.exp_id = exp_id then begin
+        Printf.printf "bench_check: %s verify statistics (%s):\n" label
+          e.Report.workload;
+        List.iter
+          (fun (s : Report.series) ->
+            let i k = Option.value ~default:0 (Report.meta_int s k) in
+            let b k = Option.value ~default:false (Report.meta_bool s k) in
+            Printf.printf
+              "  %-40s %7d execs %9d steps %-10s [%d pruned, %d sleep, %d \
+               races, %d complete%s]\n"
+              s.Report.lock (i "executions") (i "steps")
+              (if b "ok" then "ok" else "UNEXPECTED")
+              (i "pruned") (i "sleep") (i "races") (i "complete")
+              (if b "exhaustive" then ", exhaustive" else ""))
+          e.Report.series
+      end)
+    r.experiments
 
 let pp ppf outcomes =
   Format.pp_print_string ppf

@@ -4,13 +4,11 @@
     the {!Report} schema as [BENCH_verify.json].
 
     Encoding: one series per scenario, named by the scenario (group-
-    prefixed when the name is not already),
-    whose points carry checker counters in fixed [threads] slots —
-    slot 1 holds [(executions, steps, executions/s)] in
-    [(total_ops, sim_ns, throughput)] with [jain] = 1.0 iff the
-    verdict matched the scenario's expectation; slots 2..5 hold
-    pruned / sleep-set hits / races / complete executions in
-    [total_ops]. [bench_check] decodes and prints these; they are
+    prefixed when the name is not already), with no points — the
+    checker counters travel in the series' typed [meta] block (schema
+    v2): ["executions"], ["steps"], ["per_s"], ["pruned"], ["sleep"],
+    ["races"], ["complete"], and the ["ok"] / ["exhaustive"] verdict
+    booleans. [bench_check] decodes and prints these; they are
     trajectory data and never gate. *)
 
 type outcome = Clof_verify.Scenarios.outcome
@@ -33,7 +31,19 @@ val gate : outcome list -> outcome list
     went unnoticed. Non-empty fails [clof_bench verify] (the CI
     job). *)
 
+val exp_id : string
+(** ["verify"]. *)
+
+val join_kind : Report.join_kind
+(** {!Report.Excluded_from_join}: the counters are budget- and
+    wall-clock-dependent, and the verdicts are gated by
+    [clof_bench verify] itself. *)
+
 val to_report : ?quick:bool -> outcome list -> Report.t
 (** One [verify] experiment, series encoded as documented above. *)
+
+val decode : label:string -> Report.t -> unit
+(** Print the exploration statistics read back from a report (the
+    [bench_check] side of the channel). *)
 
 val pp : Format.formatter -> outcome list -> unit

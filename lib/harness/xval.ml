@@ -20,11 +20,12 @@
  *                     sim_ns = measured wall ns)
  *   "<lock>/sim"      the matching simulator points
  *   "xval/spearman",
- *   "xval/kendall"    one point per thread count carrying the
- *                     coefficient in [throughput] and the number of
- *                     locks correlated in [total_ops] (0 = undefined,
- *                     e.g. all-tied input); the [threads = 0] slot is
- *                     the overall coefficient on HC scores
+ *   "xval/kendall"    no points; the coefficients travel in the
+ *                     series' typed [meta] block (schema v2):
+ *                     "nlocks", "threads" (comma-separated levels),
+ *                     "overall" (the coefficient on HC scores) and
+ *                     "t<N>" per contention level — an undefined
+ *                     coefficient (all-tied input) is an absent key
  * The whole experiment is excluded from bench_check's regression join
  * (native wall clock on shared runners must never gate), mirroring
  * how the verify statistics are handled. *)
@@ -223,6 +224,12 @@ let gate ?min_corr t =
 
 (* ---------- report plumbing ---------- *)
 
+let exp_id = "xval"
+
+(* native throughput is wall clock on whatever runner produced it, and
+   the correlation floor is gated by clof_bench xval --min-corr *)
+let join_kind = Report.Excluded_from_join
+
 let native_point ~threads (r : Native.result) =
   {
     Report.threads;
@@ -233,16 +240,6 @@ let native_point ~threads (r : Native.result) =
     stats = r.Native.stats;
   }
 
-let corr_point ~threads ~nlocks coef =
-  {
-    Report.threads;
-    throughput = (match coef with Some c -> c | None -> 0.0);
-    total_ops = (match coef with Some _ -> nlocks | None -> 0);
-    sim_ns = 0;
-    jain = 1.0;
-    stats = Clof_stats.Stats.create ();
-  }
-
 let to_report ?(quick = false) t =
   let nlocks = List.length t.locks in
   let native =
@@ -250,6 +247,7 @@ let to_report ?(quick = false) t =
       (fun (lock, pts) ->
         {
           Report.lock;
+          meta = None;
           points = List.map (fun (n, r) -> native_point ~threads:n r) pts;
         })
       t.native_results
@@ -259,19 +257,35 @@ let to_report ?(quick = false) t =
       (fun (lock, pts) ->
         {
           Report.lock = lock ^ "/sim";
+          meta = None;
           points = List.map Report.point_of_result pts;
         })
       t.sim_results
   in
   let corr pick name =
+    let coef key = function
+      | Some c -> [ (key, Report.F c) ]
+      | None -> []
+    in
     {
       Report.lock = "xval/" ^ name;
-      points =
-        corr_point ~threads:0 ~nlocks (pick t.overall)
-        :: List.map
-             (fun (n, rho, tau) ->
-               corr_point ~threads:n ~nlocks (pick (rho, tau)))
-             t.per_thread;
+      meta =
+        Some
+          ([
+             ("nlocks", Report.I nlocks);
+             ( "threads",
+               Report.S
+                 (String.concat ","
+                    (List.map
+                       (fun (n, _, _) -> string_of_int n)
+                       t.per_thread)) );
+           ]
+          @ coef "overall" (pick t.overall)
+          @ List.concat_map
+              (fun (n, rho, tau) ->
+                coef (Printf.sprintf "t%d" n) (pick (rho, tau)))
+              t.per_thread);
+      points = [];
     }
   in
   {
@@ -281,7 +295,7 @@ let to_report ?(quick = false) t =
     experiments =
       [
         {
-          Report.exp_id = "xval";
+          Report.exp_id;
           platform = Topology.name t.platform.Platform.topo;
           workload =
             Printf.sprintf "leveldb-xval/%s%s"
@@ -291,6 +305,83 @@ let to_report ?(quick = false) t =
         };
       ];
   }
+
+(* Cross-validation readback for bench_check: the coefficient meta
+   blocks plus the per-composition native-vs-sim throughput table.
+   Printed only — native numbers are wall clock on whatever runner
+   produced the report, and the correlation floor was gated when it
+   was produced. *)
+let decode ~label (r : Report.t) =
+  List.iter
+    (fun (e : Report.experiment) ->
+      if e.Report.exp_id = exp_id then begin
+        Printf.printf "bench_check: %s cross-validation (%s, %s):\n" label
+          e.Report.platform e.Report.workload;
+        let pp_coefs name =
+          match
+            List.find_opt
+              (fun (s : Report.series) -> s.Report.lock = "xval/" ^ name)
+              e.Report.series
+          with
+          | None -> ()
+          | Some s ->
+              let nlocks =
+                Option.value ~default:0 (Report.meta_int s "nlocks")
+              in
+              let coef key =
+                match Report.meta_float s key with
+                | Some c -> Printf.sprintf "%+.3f" c
+                | None -> "n/a (ties)"
+              in
+              Printf.printf
+                "  %-8s overall HC-score ordering (%d locks): %s\n" name
+                nlocks (coef "overall");
+              List.iter
+                (fun tn ->
+                  if tn <> "" then
+                    Printf.printf "  %-8s %3s threads: %s\n" name tn
+                      (coef ("t" ^ tn)))
+                (String.split_on_char ','
+                   (Option.value ~default:"" (Report.meta_str s "threads")))
+        in
+        pp_coefs "spearman";
+        pp_coefs "kendall";
+        (* per-composition backend deltas: native wall-clock ops/us
+           next to the simulator's ops per simulated us — different
+           clocks, so only the across-locks ordering means anything *)
+        List.iter
+          (fun (s : Report.series) ->
+            if
+              (not (String.starts_with ~prefix:"xval/" s.Report.lock))
+              && not (String.ends_with ~suffix:"/sim" s.Report.lock)
+            then
+              match
+                List.find_opt
+                  (fun (s' : Report.series) ->
+                    s'.Report.lock = s.Report.lock ^ "/sim")
+                  e.Report.series
+              with
+              | None -> ()
+              | Some sim ->
+                  List.iter
+                    (fun (p : Report.point) ->
+                      match
+                        List.find_opt
+                          (fun (q : Report.point) ->
+                            q.Report.threads = p.Report.threads)
+                          sim.Report.points
+                      with
+                      | None -> ()
+                      | Some q ->
+                          Printf.printf
+                            "  %-16s %3dT: native %9.4f ops/us (wall)  sim \
+                             %9.4f ops/us\n"
+                            s.Report.lock p.Report.threads
+                            p.Report.throughput q.Report.throughput)
+                    s.Report.points)
+          e.Report.series
+      end)
+    r.experiments
 
 (* ---------- rendering ---------- *)
 

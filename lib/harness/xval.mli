@@ -64,16 +64,27 @@ val gate : ?min_corr:float -> t -> string list
     floor. Per-thread coefficients and absolute throughputs never
     gate. *)
 
+val exp_id : string
+(** ["xval"]. *)
+
+val join_kind : Report.join_kind
+(** {!Report.Excluded_from_join}: native throughput is wall clock on
+    whatever runner produced the report, and the correlation floor is
+    gated by [clof_bench xval --min-corr] itself. *)
+
 val to_report : ?quick:bool -> t -> Report.t
 (** Encode as one ["xval"] experiment in the standard {!Report} schema
     (written to [BENCH_native.json]): native series under the lock
     name ([sim_ns] = wall ns), simulated series under ["<lock>/sim"],
-    and the coefficients packed into ["xval/spearman"] /
-    ["xval/kendall"] series — [threads] = contention level (0 = the
-    overall HC-score coefficient), [throughput] = coefficient,
-    [total_ops] = panel size ([0] marks an undefined coefficient).
-    [bench_check] decodes these and excludes the whole experiment from
-    the regression join. *)
+    and pointless ["xval/spearman"] / ["xval/kendall"] series whose
+    typed [meta] blocks carry ["nlocks"], ["threads"], ["overall"]
+    and one ["t<N>"] key per contention level (an undefined
+    coefficient is an absent key). [bench_check] decodes these and
+    excludes the whole experiment from the regression join. *)
+
+val decode : label:string -> Report.t -> unit
+(** Print the coefficients and the native-vs-sim throughput table read
+    back from a report (the [bench_check] side of the channel). *)
 
 val pp : Format.formatter -> t -> unit
 (** Side-by-side throughput table, per-level and overall coefficients,

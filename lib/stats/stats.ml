@@ -174,6 +174,45 @@ let percentile r p =
     go 0 0
   end
 
+(* Interpolated percentile: same bucket search as [percentile], then a
+   linear interpolation across the bucket's width assuming samples are
+   spread uniformly inside it.  The log2 buckets make the raw
+   [percentile] answer (the bucket's lower bound) understate tail
+   latency by up to 2x; the interpolated value is still only accurate
+   to the bucket width (its error is < bucket_lo i, i.e. a factor of
+   2 at worst, exact when the in-bucket distribution is uniform), but
+   it is monotone in p and lands mid-bucket instead of pinning to the
+   left edge.  The top bucket is open-ended; it is interpolated as if
+   it had the same width as a closed bucket, [2^23, 2^24). *)
+let percentile_interp r p =
+  let total = latency_samples r in
+  if total = 0 then None
+  else begin
+    let target =
+      let t = int_of_float (Float.of_int total *. p /. 100.0) in
+      min (max t 0) (total - 1)
+    in
+    let rec go i before =
+      if i >= nbuckets then Some (float_of_int (bucket_lo (nbuckets - 1)))
+      else begin
+        let c = r.latency.(i) in
+        if before + c > target then begin
+          let lo = float_of_int (bucket_lo i) in
+          let hi =
+            if i >= nbuckets - 1 then 2.0 *. lo else float_of_int (bucket_lo (i + 1))
+          in
+          (* 0-based position of the target sample among the c samples
+             in this bucket; the +0.5 places each sample at the centre
+             of its 1/c slice of the bucket *)
+          let pos = float_of_int (target - before) +. 0.5 in
+          Some (lo +. ((hi -. lo) *. pos /. float_of_int c))
+        end
+        else go (i + 1) (before + c)
+      end
+    in
+    go 0 0
+  end
+
 let is_empty r =
   r.acquisitions = 0 && r.fastpath = 0 && r.contended = 0 && r.spins = 0
   && r.timeouts = 0

@@ -210,6 +210,67 @@ let induction_step ?(depth = 2) ?(threads = 3) ?strategy ~mode () =
     scenario = clof_scenario packed ~depth ~threads ~iters:2;
   }
 
+(* The stripe-table pairing of the KV service (Kvservice): each
+   request acquires exactly the stripe lock its key hashes to, and
+   critical sections on *different* stripes may legally overlap — so
+   the global cs monitor does not apply. Each stripe instead carries
+   its own meta-level monitor (the checker preempts only at Vmem
+   operations, so the plain flags flip atomically w.r.t. exploration):
+   an in-section flag for per-stripe mutual exclusion plus the
+   per-stripe stale-read check of mk_payload. Three threads hash
+   their two requests onto the two stripes in rotated orders, so the
+   explored schedules include cross-stripe overlap (which must pass)
+   and same-stripe collisions (which must serialize). *)
+let kv_stripes ?(threads = 3) ?strategy ~mode () =
+  let nstripes = 2 in
+  let scenario () =
+    let topo = mini_topo 1 in
+    let stripe =
+      Array.init nstripes (fun _ ->
+          Root.create ~h:2 ~topo ~hierarchy:(mini_hierarchy 1) ())
+    in
+    let data =
+      Array.init nstripes (fun s ->
+          Vmem.make ~name:(Printf.sprintf "data%d" s) 0)
+    in
+    let inside = Array.make nstripes false in
+    let turns = Array.make nstripes 0 in
+    let request ctxs s =
+      Root.acquire stripe.(s) ctxs.(s);
+      if inside.(s) then
+        raise
+          (Vstate.Prop_violation
+             (Printf.sprintf "stripe %d: overlapping critical sections" s));
+      inside.(s) <- true;
+      let v = Vmem.load data.(s) in
+      if v <> turns.(s) then
+        raise
+          (Vstate.Prop_violation
+             (Printf.sprintf "stripe %d: stale read in cs: data=%d after \
+                              %d sections"
+                s v turns.(s)));
+      turns.(s) <- turns.(s) + 1;
+      Vmem.store ~o:Clof_atomics.Memory_order.Relaxed data.(s) (v + 1);
+      inside.(s) <- false;
+      Root.release stripe.(s) ctxs.(s)
+    in
+    List.init threads (fun i ->
+        let ctxs =
+          Array.init nstripes (fun s -> Root.ctx_create stripe.(s) ~cpu:i)
+        in
+        fun () ->
+          request ctxs (i mod nstripes);
+          request ctxs ((i + 1) mod nstripes))
+  in
+  {
+    sname =
+      Printf.sprintf "induction/kv-stripes %dx tkt %dT [%s]" nstripes
+        threads (mode_tag mode);
+    config = config_of ?strategy mode;
+    expect_violation = false;
+    scenario;
+  }
+
 (* Abort safety: one thread acquires with a deadline while the others
    block. The checker resolves every timed wait nondeterministically
    (Vmem.await_until), so the interleavings explored include a timeout
@@ -796,6 +857,9 @@ let suite ?(quick = false) ?strategy () =
          induction_step ~depth:2 ?strategy ~mode:Vstate.Sc ();
          induction_step ~depth:2 ?strategy ~mode:Vstate.Tso ();
          induction_step ~depth:2 ?strategy ~mode:Vstate.Relaxed ();
+         kv_stripes ?strategy ~mode:Vstate.Sc ();
+         kv_stripes ?strategy ~mode:Vstate.Tso ();
+         kv_stripes ?strategy ~mode:Vstate.Relaxed ();
        ]
       @ (if quick then []
          else

@@ -67,6 +67,16 @@ val abort_step :
     exclusion on the abort path and that no grant is lost (a lost
     wakeup surfaces as the checker's deadlock verdict). *)
 
+val kv_stripes :
+  ?threads:int -> ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
+(** The KV service's stripe-table pairing
+    ({!Clof_workloads.Kvservice}): two single-level compositions as
+    stripe locks, [threads] (default 3) threads each issuing one
+    request per stripe in rotated order. Per-stripe meta-level
+    monitors check stripe-local mutual exclusion and payload coherence
+    while legal cross-stripe overlap stays unflagged (the global cs
+    monitor cannot express this, so the scenario carries its own). *)
+
 val abort_induction :
   ?threads:int -> ?strategy:Checker.strategy -> mode:Vstate.mode -> unit -> named
 (** Abort safety of the composition: a 2-level all-MCS CLoF lock with
@@ -185,9 +195,10 @@ val suite : ?quick:bool -> ?strategy:Checker.strategy -> unit -> entry list
 (** Every verification scenario: base steps for all registered locks
     (SC, TSO, Relaxed), abort steps (basic locks and HMCS-T, both
     deadline variants, all modes), induction steps (depth 2 in all
-    modes, plus depth 3 in all modes unless [quick]), abort induction
-    (all modes), the adaptive mode-switch trio (all modes),
-    Peterson exhibits, and the litmus battery per mode. [strategy]
+    modes, plus depth 3 in all modes unless [quick]), the KV
+    stripe-table pairing (all modes), abort induction (all modes), the
+    adaptive mode-switch trio (all modes), Peterson exhibits, and the
+    litmus battery per mode. [strategy]
     overrides the checker strategy on every entry (default DPOR). *)
 
 val run_suite :

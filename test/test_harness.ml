@@ -247,6 +247,120 @@ let test_experiment_dispatch () =
   check_bool "produced output" true (Buffer.length buf > 100);
   check_bool "unknown id" false (Clof_harness.Experiments.run ppf "nope")
 
+(* ---------- experiment registry ---------- *)
+
+module Reg = Clof_harness.Registry
+
+let test_registry_entries () =
+  let ids = List.map (fun (e : Reg.entry) -> e.Reg.id) Reg.all in
+  check_bool "ids unique" true
+    (List.length ids = List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun required -> check_bool ("has " ^ required) true (List.mem required ids))
+    [ "report"; "sim"; "verify"; "xval"; "faults"; "adapt"; "kv" ];
+  List.iter
+    (fun (e : Reg.entry) ->
+      (* entries hold closures: compare the found entry by id *)
+      check_bool (e.Reg.id ^ " findable") true
+        (match Reg.find e.Reg.id with
+        | Some e' -> e'.Reg.id = e.Reg.id
+        | None -> false);
+      check_bool
+        (e.Reg.id ^ " owns an exp_id")
+        true
+        (e.Reg.exp_ids <> []))
+    Reg.all;
+  check_bool "unknown id" true (Reg.find "nope" = None)
+
+let test_registry_kinds () =
+  (* the panel's archived ids are gated; every own-gate experiment's
+     ids are not; unregistered ids default to gated so they fail the
+     cross-run join loudly *)
+  check_bool "report-x86 gated" true
+    (Reg.kind_of "report-x86" = Clof_harness.Report.Gated_series);
+  List.iter
+    (fun id ->
+      check_bool (id ^ " not gated") true
+        (Reg.kind_of id <> Clof_harness.Report.Gated_series))
+    [ "sim-throughput"; "verify"; "xval"; "faults"; "adapt"; "kv" ];
+  check_bool "unknown exp_id gated" true
+    (Reg.kind_of "some-future-exp" = Clof_harness.Report.Gated_series)
+
+let test_registry_gated_strip () =
+  let exp id =
+    {
+      Clof_harness.Report.exp_id = id;
+      platform = "x86";
+      workload = "w";
+      series = [];
+    }
+  in
+  let r =
+    {
+      Clof_harness.Report.version = Clof_harness.Report.schema_version;
+      quick = true;
+      meta = None;
+      experiments = [ exp "report-x86"; exp "kv"; exp "verify" ];
+    }
+  in
+  let kept =
+    List.map
+      (fun (e : Clof_harness.Report.experiment) ->
+        e.Clof_harness.Report.exp_id)
+      (Reg.gated r).Clof_harness.Report.experiments
+  in
+  check_bool "only gated survives" true (kept = [ "report-x86" ])
+
+(* decode_either must prefer the current archive and fall back to the
+   baseline — and never print an experiment archived in neither *)
+let test_registry_decode_either () =
+  let kv = Clof_harness.Kvbench.run ~quick:true () in
+  let kv_report = Clof_harness.Kvbench.to_report ~quick:true kv in
+  let empty =
+    {
+      Clof_harness.Report.version = Clof_harness.Report.schema_version;
+      quick = true;
+      meta = None;
+      experiments = [];
+    }
+  in
+  let capture f =
+    let saved = Unix.dup Unix.stdout in
+    let tmp = Filename.temp_file "reg" ".out" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+    Unix.dup2 fd Unix.stdout;
+    Unix.close fd;
+    Fun.protect
+      ~finally:(fun () ->
+        flush stdout;
+        Unix.dup2 saved Unix.stdout;
+        Unix.close saved)
+      f;
+    In_channel.with_open_text tmp In_channel.input_all
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let from_baseline =
+    capture (fun () ->
+        Reg.decode_either ~baseline:kv_report ~current:empty)
+  in
+  check_bool "falls back to baseline" true
+    (contains from_baseline "baseline kv");
+  let from_current =
+    capture (fun () ->
+        Reg.decode_either ~baseline:empty ~current:kv_report)
+  in
+  check_bool "prefers current label" true
+    (contains from_current "current kv"
+    && not (contains from_current "baseline"));
+  let silent =
+    capture (fun () -> Reg.decode_either ~baseline:empty ~current:empty)
+  in
+  check_bool "nothing archived, nothing printed" true (silent = "")
+
 (* ---------- fault-injection watchdog ---------- *)
 
 module Ex = Clof_harness.Experiments
@@ -397,6 +511,12 @@ let () =
         [
           Alcotest.test_case "ids" `Quick test_experiment_ids;
           Alcotest.test_case "dispatch" `Quick test_experiment_dispatch;
+          Alcotest.test_case "registry entries" `Quick test_registry_entries;
+          Alcotest.test_case "registry kinds" `Quick test_registry_kinds;
+          Alcotest.test_case "registry gated strip" `Quick
+            test_registry_gated_strip;
+          Alcotest.test_case "registry decode either" `Slow
+            test_registry_decode_either;
         ] );
       ( "faults",
         [

@@ -217,6 +217,54 @@ let test_percentile () =
   check_bool "no samples, no percentile" true
     (S.percentile (S.create ()) 50.0 = None)
 
+let test_percentile_interp () =
+  check_bool "no samples" true
+    (S.percentile_interp (S.create ()) 50.0 = None);
+  (* single sample in [512, 1024): every p interpolates to the bucket
+     midpoint — never the left edge [percentile] pins to *)
+  let one = record [ Acquired 1000 ] in
+  check_bool "single sample at midpoint" true
+    (S.percentile_interp one 50.0 = Some 768.0
+    && S.percentile_interp one 99.9 = Some 768.0);
+  (* two samples in [2, 4): slices centred at 2.5 and 3.5 *)
+  let two = record [ Acquired 2; Acquired 3 ] in
+  check_bool "two-sample lower slice" true
+    (S.percentile_interp two 0.0 = Some 2.5);
+  check_bool "two-sample upper slice" true
+    (S.percentile_interp two 99.0 = Some 3.5);
+  (* bucket-boundary bound: the interpolated value stays inside the
+     bucket [percentile] names, for every p *)
+  let r =
+    record [ Acquired 1; Acquired 2; Acquired 1000; Acquired 70_000 ]
+  in
+  List.iter
+    (fun p ->
+      match (S.percentile r p, S.percentile_interp r p) with
+      | Some lo, Some v ->
+          let hi = float_of_int (max 2 (2 * lo)) in
+          check_bool (Printf.sprintf "p%.1f within its bucket" p) true
+            (float_of_int lo <= v && v <= hi)
+      | _ -> Alcotest.fail "percentile/interp disagree on samples")
+    [ 0.0; 25.0; 50.0; 95.0; 99.0; 99.9; 100.0 ];
+  (* monotone in p across bucket transitions *)
+  let last = ref neg_infinity in
+  List.iter
+    (fun p ->
+      match S.percentile_interp r p with
+      | Some v ->
+          check_bool (Printf.sprintf "monotone at p%.1f" p) true (v >= !last);
+          last := v
+      | None -> Alcotest.fail "expected samples")
+    [ 0.0; 10.0; 50.0; 90.0; 99.0; 99.9 ];
+  (* clamped samples interpolate inside the (open-ended) top bucket,
+     treated as one bucket wide *)
+  let top = record [ Acquired max_int ] in
+  match S.percentile_interp top 50.0 with
+  | Some v ->
+      let lo = float_of_int (S.bucket_lo (S.nbuckets - 1)) in
+      check_bool "top bucket bounded" true (v >= lo && v <= 2.0 *. lo)
+  | None -> Alcotest.fail "expected top-bucket sample"
+
 (* ---------- JSON ---------- *)
 
 let test_stats_json_roundtrip =
@@ -509,11 +557,27 @@ let test_report_roundtrip () =
               [
                 {
                   Report.lock = "mcs";
+                  (* one of each attr type, incl. an integral float:
+                     the I/F distinction must survive the round-trip *)
+                  meta =
+                    Some
+                      [
+                        ("executions", Report.I 74);
+                        ("per_s", Report.F 123.5);
+                        ("whole", Report.F 3.0);
+                        ("mode", Report.S "fair");
+                        ("ok", Report.B true);
+                      ];
                   points =
                     [
                       point (record [ Acquired 12; Handover (1, true) ]);
                       point (S.create ());
                     ];
+                };
+                {
+                  Report.lock = "clh";
+                  meta = None;
+                  points = [ point (S.create ()) ];
                 };
               ];
           };
@@ -531,6 +595,31 @@ let test_report_roundtrip () =
   | Ok t' ->
       check_bool "absent meta parses to None" true (t'.Report.meta = None);
       check_str "meta-less round-trip" s_no_meta (Report.to_string t')
+
+let test_report_v1_compat () =
+  (* a hand-written v1 document: no series meta, version = 1 — must
+     decode with meta = None on every series *)
+  let v1 =
+    {|{
+  "schema_version": 1,
+  "quick": true,
+  "experiments": [
+    { "id": "report-x86", "platform": "x86", "workload": "leveldb",
+      "series": [ { "lock": "mcs", "points": [] } ] }
+  ]
+}|}
+  in
+  match Report.of_string v1 with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      check_bool "v1 version preserved" true (t.Report.version = 1);
+      List.iter
+        (fun (e : Report.experiment) ->
+          List.iter
+            (fun (s : Report.series) ->
+              check_bool "v1 series meta is None" true (s.Report.meta = None))
+            e.Report.series)
+        t.Report.experiments
 
 let test_report_rejects () =
   check_bool "schema version checked" true
@@ -575,6 +664,8 @@ let () =
             test_bucket_boundaries;
           qcheck test_bucket_lo_consistent;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile (interpolated)" `Quick
+            test_percentile_interp;
         ] );
       ( "json",
         [
@@ -608,6 +699,7 @@ let () =
       ( "report",
         [
           Alcotest.test_case "JSON round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "v1 compatibility" `Quick test_report_v1_compat;
           Alcotest.test_case "rejections" `Quick test_report_rejects;
         ] );
     ]
